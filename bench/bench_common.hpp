@@ -1,0 +1,42 @@
+// Shared plumbing for the experiment binaries: standard header/footer
+// formatting so every table in bench_output.txt is self-describing, plus
+// the common CLI knobs (--trials, --seed, scale factors).
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+
+#include "support/cli.hpp"
+#include "support/table.hpp"
+
+namespace ssmis::bench {
+
+struct ExpContext {
+  CliArgs args;
+  int trials;
+  std::uint64_t seed;
+  double scale;  // multiplies default problem sizes (--scale=2 for bigger runs)
+};
+
+inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
+                                  const std::string& claim, int default_trials) {
+  ExpContext ctx;
+  ctx.args = CliArgs::parse(argc, argv);
+  ctx.trials = static_cast<int>(ctx.args.get_int("trials", default_trials));
+  ctx.seed = static_cast<std::uint64_t>(ctx.args.get_int("seed", 1));
+  ctx.scale = ctx.args.get_double("scale", 1.0);
+  std::cout << "#### Experiment " << id << "\n";
+  std::cout << "# paper claim: " << claim << "\n";
+  std::cout << "# trials/cell: " << ctx.trials << ", seed: " << ctx.seed << "\n";
+  for (const auto& err : ctx.args.errors()) std::cout << "# CLI warning: " << err << "\n";
+  return ctx;
+}
+
+inline void finish_experiment(const std::string& verdict) {
+  std::cout << "# verdict: " << verdict << "\n\n";
+}
+
+inline double log2n(double n) { return std::log2(std::max(2.0, n)); }
+
+}  // namespace ssmis::bench

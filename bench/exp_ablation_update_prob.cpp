@@ -1,0 +1,87 @@
+// Ablation A2 (footnote 1): the update probability 1/2 and the randomized
+// white -> black transition are analysis simplifications. We sweep the
+// resample bias q (P[active vertex draws black] = q) and compare against
+// the "eager white" variant (white -> black with probability 1, as the
+// footnote suggests the definition could have been).
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/init.hpp"
+#include "core/runner.hpp"
+#include "core/two_state_variant.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+#include "stats/summary.hpp"
+
+using namespace ssmis;
+
+namespace {
+
+Summary measure_variant(const Graph& g, double q, bool eager, int trials,
+                        std::uint64_t seed, int* timeouts) {
+  std::vector<double> rounds;
+  *timeouts = 0;
+  for (int trial = 0; trial < trials; ++trial) {
+    const CoinOracle coins(seed + static_cast<std::uint64_t>(trial));
+    TwoStateVariant p(g, make_init2(g, InitPattern::kUniformRandom, coins), coins, q,
+                      eager);
+    const RunResult r = run_until_stabilized(p, 500000);
+    if (r.stabilized && is_mis(g, p.black_set()))
+      rounds.push_back(static_cast<double>(r.rounds));
+    else
+      ++*timeouts;
+  }
+  return summarize(rounds);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto ctx = bench::init_experiment(
+      argc, argv, "A2 (ablation): update probability and eager-white variant",
+      "footnote 1: q = 1/2 chosen for analysis; moderate q works, extremes slow down",
+      10);
+
+  struct Workload { std::string name; Graph graph; };
+  std::vector<Workload> workloads;
+  workloads.push_back({"K_256", gen::complete(256)});
+  workloads.push_back({"gnp1024 p=0.01", gen::gnp(1024, 0.01, ctx.seed)});
+  workloads.push_back({"tree4096", gen::random_tree(4096, ctx.seed + 1)});
+
+  for (auto& w : workloads) {
+    print_banner(std::cout, "resample bias sweep on " + w.name);
+    TextTable table({"q (P[black])", "mean", "p95", "timeouts"});
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      int timeouts = 0;
+      const Summary s = measure_variant(w.graph, q, false, ctx.trials,
+                                        ctx.seed + 17, &timeouts);
+      table.begin_row();
+      table.add_cell(q, 2);
+      table.add_cell(s.mean);
+      table.add_cell(s.p95);
+      table.add_cell(static_cast<std::int64_t>(timeouts));
+    }
+    // Eager-white rows (white -> black deterministically; black conflicts
+    // still resample with the given q).
+    for (double q : {0.5}) {
+      int timeouts = 0;
+      const Summary s = measure_variant(w.graph, q, true, ctx.trials,
+                                        ctx.seed + 23, &timeouts);
+      table.begin_row();
+      table.add_cell("eager-white q=0.50");
+      table.add_cell(s.mean);
+      table.add_cell(s.p95);
+      table.add_cell(static_cast<std::int64_t>(timeouts));
+    }
+    table.print(std::cout);
+  }
+
+  bench::finish_experiment(
+      "the best q is workload-dependent: on cliques small q wins (fewer "
+      "black-black collisions, Aloha-style), on sparse graphs and trees "
+      "q = 1/2 is fastest and both extremes slow down markedly; eager-white "
+      "is competitive throughout — supporting footnote 1's remark that the "
+      "randomized transition is an analysis convenience, not a requirement");
+  return 0;
+}

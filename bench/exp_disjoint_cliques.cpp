@@ -1,0 +1,46 @@
+// Experiment E2 (Remark 9): on sqrt(n) disjoint copies of K_sqrt(n), the
+// 2-state process needs Theta(log^2 n) rounds both in expectation and
+// w.h.p. — the max over sqrt(n) independent clique processes pushes the
+// expectation up to the w.h.p. bound. The diagnostic ratio is
+// mean / log2^2(n), which should stay roughly constant, while mean / log2(n)
+// grows with n.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+
+using namespace ssmis;
+
+int main(int argc, char** argv) {
+  auto ctx = bench::init_experiment(
+      argc, argv, "E2 (Remark 9): sqrt(n) disjoint cliques K_sqrt(n)",
+      "2-state needs Theta(log^2 n) in expectation and whp", 20);
+
+  print_banner(std::cout, "2-state on sqrt(n) x K_sqrt(n)");
+  TextTable table({"n", "side", "mean", "p95", "mean/log2(n)", "mean/log2^2(n)"});
+  for (Vertex side : {8, 16, 24, 32, 48, 64}) {
+    const Vertex n = side * side;
+    const Graph g = gen::disjoint_cliques(side, side);
+    MeasureConfig config;
+    config.trials = ctx.trials;
+    config.seed = ctx.seed + static_cast<std::uint64_t>(side);
+    config.max_rounds = 2000000;
+    const Measurements m = measure_stabilization(g, config);
+    const double ln = bench::log2n(n);
+    table.begin_row();
+    table.add_cell(static_cast<std::int64_t>(n));
+    table.add_cell(static_cast<std::int64_t>(side));
+    table.add_cell(m.summary.mean);
+    table.add_cell(m.summary.p95);
+    table.add_cell(m.summary.mean / ln);
+    table.add_cell(m.summary.mean / (ln * ln));
+  }
+  table.print(std::cout);
+
+  bench::finish_experiment(
+      "mean/log2^2(n) roughly flat while mean/log2(n) grows: expectation "
+      "matches the whp bound Theta(log^2 n), unlike the single clique");
+  return 0;
+}

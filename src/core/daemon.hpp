@@ -1,0 +1,134 @@
+// Activation daemons: the general adversarial-scheduler model of Section 1.
+//
+// The paper's synchronous 2-state process activates EVERY inconsistent
+// vertex each round; the sequential algorithm of [Shukla et al. 95]
+// activates exactly one. Both are special cases of a daemon that, each
+// step, activates an arbitrary non-empty subset of the enabled vertices —
+// and the observation the paper cites is that with *randomized* transitions
+// the process stabilizes with probability 1 under every such daemon.
+//
+// DaemonMIS runs the 2-state rule under a pluggable ActivationDaemon:
+//   * SynchronousDaemon   — all enabled vertices (the paper's process;
+//                           bit-identical to TwoStateMIS given the oracle)
+//   * CentralDaemon       — a single enabled vertex per step
+//   * RandomSubsetDaemon  — each enabled vertex independently w.p. rho
+//                           (rho -> 1 recovers synchronous behavior)
+//   * AdversarialPairDaemon — always activates a maximal set of *conflicting
+//                           sibling pairs* (both endpoints of black-black
+//                           edges together), the schedule that maximizes
+//                           coordinated re-collisions.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class ActivationDaemon {
+ public:
+  virtual ~ActivationDaemon() = default;
+  // Chooses a non-empty subset of `enabled` (sorted) to activate at `step`.
+  // Returning an empty vector is treated as "activate all" to keep the
+  // process live (a daemon must not starve the system forever).
+  virtual std::vector<Vertex> activate(std::span<const Vertex> enabled,
+                                       std::int64_t step) = 0;
+  virtual std::string name() const = 0;
+};
+
+class SynchronousDaemon final : public ActivationDaemon {
+ public:
+  std::vector<Vertex> activate(std::span<const Vertex> enabled, std::int64_t) override {
+    return {enabled.begin(), enabled.end()};
+  }
+  std::string name() const override { return "synchronous"; }
+};
+
+class CentralDaemon final : public ActivationDaemon {
+ public:
+  explicit CentralDaemon(std::uint64_t seed) : coins_(seed) {}
+  std::vector<Vertex> activate(std::span<const Vertex> enabled,
+                               std::int64_t step) override {
+    const std::uint64_t w = coins_.word(step, 0, CoinTag::kScheduler);
+    return {enabled[static_cast<std::size_t>(w % enabled.size())]};
+  }
+  std::string name() const override { return "central"; }
+
+ private:
+  CoinOracle coins_;
+};
+
+class RandomSubsetDaemon final : public ActivationDaemon {
+ public:
+  // Throws std::invalid_argument unless 0 < rho <= 1.
+  RandomSubsetDaemon(double rho, std::uint64_t seed);
+  std::vector<Vertex> activate(std::span<const Vertex> enabled,
+                               std::int64_t step) override;
+  std::string name() const override;
+
+ private:
+  double rho_;
+  CoinOracle coins_;
+};
+
+// Activates both endpoints of every black-black edge simultaneously (so
+// conflicting pairs re-roll together, the coordination that livelocks the
+// deterministic rule), plus every other enabled vertex.
+class AdversarialPairDaemon final : public ActivationDaemon {
+ public:
+  std::vector<Vertex> activate(std::span<const Vertex> enabled, std::int64_t) override {
+    return {enabled.begin(), enabled.end()};  // = synchronous for 2-state
+  }
+  std::string name() const override { return "adversarial-pairs"; }
+};
+
+// The 2-state rule under an activation daemon. Enabled = active in the
+// Definition 4 sense; an activated vertex resamples its color with the
+// oracle coin phi_step(u) — exactly TwoStateMIS's coin stream, so the
+// SynchronousDaemon run is bit-identical to the synchronous process.
+class DaemonMIS {
+ public:
+  DaemonMIS(const Graph& g, std::vector<Color2> init,
+            std::unique_ptr<ActivationDaemon> daemon, const CoinOracle& coins);
+
+  // One daemon step (activates one chosen subset). Returns the number of
+  // vertices activated.
+  Vertex step();
+  std::int64_t steps() const { return steps_; }
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<Color2>& colors() const { return colors_; }
+  bool black(Vertex u) const {
+    return colors_[static_cast<std::size_t>(u)] == Color2::kBlack;
+  }
+  Vertex black_neighbor_count(Vertex u) const {
+    return black_nbr_[static_cast<std::size_t>(u)];
+  }
+  bool enabled(Vertex u) const {
+    return black(u) ? black_neighbor_count(u) > 0 : black_neighbor_count(u) == 0;
+  }
+  bool stabilized() const { return num_enabled_ == 0; }
+  Vertex num_enabled() const { return num_enabled_; }
+  std::vector<Vertex> black_set() const;
+  std::vector<Vertex> enabled_set() const;
+
+  // Runs until stabilized or `max_steps`; returns steps used.
+  std::int64_t run(std::int64_t max_steps);
+
+ private:
+  const Graph* graph_;
+  CoinOracle coins_;
+  std::unique_ptr<ActivationDaemon> daemon_;
+  std::vector<Color2> colors_;
+  std::vector<Vertex> black_nbr_;
+  std::int64_t steps_ = 0;
+  Vertex num_enabled_ = 0;
+};
+
+}  // namespace ssmis

@@ -1,0 +1,34 @@
+// Transient-fault injection.
+//
+// Self-stabilization (Dijkstra 1974) means convergence from *any* state, so
+// a transient fault — an adversary rewriting a subset of vertex states — is
+// survived by construction: the post-fault configuration is just another
+// initial state. The injector makes this concrete for experiments E14 and
+// the fault-recovery example: it corrupts a random fraction of vertices to
+// uniformly random states (colors, and switch levels for the 3-color
+// process), deterministically per (oracle seed, salt).
+#pragma once
+
+#include <cstdint>
+
+#include "core/three_color.hpp"
+#include "core/three_state.hpp"
+#include "core/two_state.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+struct FaultReport {
+  Vertex corrupted = 0;  // number of vertices rewritten
+};
+
+// Each vertex is independently corrupted with probability `fraction`; a
+// corrupted vertex gets a uniformly random color (which may equal its
+// current one). `salt` decorrelates successive injections.
+FaultReport inject_faults(TwoStateMIS& process, double fraction, std::int64_t salt);
+FaultReport inject_faults(ThreeStateMIS& process, double fraction, std::int64_t salt);
+// Also randomizes the phase-clock level of corrupted vertices when the
+// switch is a RandomizedLogSwitch or PhaseClockSwitch.
+FaultReport inject_faults(ThreeColorMIS& process, double fraction, std::int64_t salt);
+
+}  // namespace ssmis

@@ -1,0 +1,132 @@
+#include "core/init.hpp"
+
+#include <algorithm>
+
+namespace ssmis {
+
+std::string to_string(Color2 c) {
+  return c == Color2::kBlack ? "black" : "white";
+}
+
+std::string to_string(Color3 c) {
+  switch (c) {
+    case Color3::kWhite: return "white";
+    case Color3::kBlack0: return "black0";
+    case Color3::kBlack1: return "black1";
+  }
+  return "?";
+}
+
+std::string to_string(ColorG c) {
+  switch (c) {
+    case ColorG::kWhite: return "white";
+    case ColorG::kBlack: return "black";
+    case ColorG::kGray: return "gray";
+  }
+  return "?";
+}
+
+std::string to_string(InitPattern pattern) {
+  switch (pattern) {
+    case InitPattern::kAllWhite: return "all-white";
+    case InitPattern::kAllBlack: return "all-black";
+    case InitPattern::kUniformRandom: return "uniform-random";
+    case InitPattern::kAlternating: return "alternating";
+    case InitPattern::kHighDegreeBlack: return "high-degree-black";
+    case InitPattern::kOneBlack: return "one-black";
+  }
+  return "?";
+}
+
+const std::vector<InitPattern>& all_init_patterns() {
+  static const std::vector<InitPattern> kAll = {
+      InitPattern::kAllWhite,        InitPattern::kAllBlack,
+      InitPattern::kUniformRandom,   InitPattern::kAlternating,
+      InitPattern::kHighDegreeBlack, InitPattern::kOneBlack,
+  };
+  return kAll;
+}
+
+namespace {
+
+// Degree above (strictly) the median => black. Uses nth_element on a copy.
+bool high_degree(const Graph& g, Vertex u) {
+  static thread_local const Graph* cached_graph = nullptr;
+  static thread_local Vertex cached_median = 0;
+  if (cached_graph != &g) {
+    std::vector<Vertex> degrees(static_cast<std::size_t>(g.num_vertices()));
+    for (Vertex v = 0; v < g.num_vertices(); ++v)
+      degrees[static_cast<std::size_t>(v)] = g.degree(v);
+    if (!degrees.empty()) {
+      auto mid = degrees.begin() + degrees.size() / 2;
+      std::nth_element(degrees.begin(), mid, degrees.end());
+      cached_median = *mid;
+    } else {
+      cached_median = 0;
+    }
+    cached_graph = &g;
+  }
+  return g.degree(u) > cached_median;
+}
+
+// Shared pattern logic: returns true if the vertex starts "black".
+bool black_at(const Graph& g, InitPattern pattern, const CoinOracle& coins,
+              Vertex u) {
+  switch (pattern) {
+    case InitPattern::kAllWhite: return false;
+    case InitPattern::kAllBlack: return true;
+    case InitPattern::kUniformRandom:
+      return coins.fair_coin(0, u, CoinTag::kInit);
+    case InitPattern::kAlternating: return (u % 2) == 0;
+    case InitPattern::kHighDegreeBlack: return high_degree(g, u);
+    case InitPattern::kOneBlack: return u == 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Color2> make_init2(const Graph& g, InitPattern pattern,
+                               const CoinOracle& coins) {
+  std::vector<Color2> init(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    init[static_cast<std::size_t>(u)] =
+        black_at(g, pattern, coins, u) ? Color2::kBlack : Color2::kWhite;
+  return init;
+}
+
+std::vector<Color3> make_init3(const Graph& g, InitPattern pattern,
+                               const CoinOracle& coins) {
+  std::vector<Color3> init(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!black_at(g, pattern, coins, u)) {
+      init[static_cast<std::size_t>(u)] = Color3::kWhite;
+    } else {
+      // Split black starts between the two black states deterministically.
+      init[static_cast<std::size_t>(u)] =
+          coins.fair_coin(1, u, CoinTag::kInit) ? Color3::kBlack1 : Color3::kBlack0;
+    }
+  }
+  return init;
+}
+
+std::vector<ColorG> make_init_g(const Graph& g, InitPattern pattern,
+                                const CoinOracle& coins) {
+  std::vector<ColorG> init(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (black_at(g, pattern, coins, u)) {
+      init[static_cast<std::size_t>(u)] = ColorG::kBlack;
+    } else {
+      // A third of non-black starters begin gray: adversarial inits must
+      // exercise the gray state too.
+      init[static_cast<std::size_t>(u)] =
+          (pattern == InitPattern::kUniformRandom &&
+           coins.dyadic_bernoulli(2, u, CoinTag::kInit, 1, 2))
+              ? ColorG::kGray
+              : ColorG::kWhite;
+    }
+  }
+  return init;
+}
+
+}  // namespace ssmis

@@ -1,0 +1,40 @@
+// Initial-state generators.
+//
+// Self-stabilization means the processes must converge from *arbitrary*
+// initial states; the experiment harness therefore sweeps over adversarial
+// patterns, not just the all-white "clean start" that non-self-stabilizing
+// algorithms assume.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+enum class InitPattern {
+  kAllWhite,        // the clean start
+  kAllBlack,        // maximally conflicted
+  kUniformRandom,   // each vertex independently uniform
+  kAlternating,     // by vertex parity
+  kHighDegreeBlack, // vertices with degree above the median start black
+  kOneBlack,        // a single black vertex (vertex 0)
+};
+
+std::string to_string(InitPattern pattern);
+
+// All six patterns, for sweep loops.
+const std::vector<InitPattern>& all_init_patterns();
+
+std::vector<Color2> make_init2(const Graph& g, InitPattern pattern,
+                               const CoinOracle& coins);
+std::vector<Color3> make_init3(const Graph& g, InitPattern pattern,
+                               const CoinOracle& coins);
+std::vector<ColorG> make_init_g(const Graph& g, InitPattern pattern,
+                                const CoinOracle& coins);
+
+}  // namespace ssmis

@@ -1,0 +1,82 @@
+#include "core/phase_clock.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ssmis {
+
+PhaseClock::PhaseClock(const Graph& g, int d, std::vector<int> init_levels,
+                       const CoinOracle& coins, std::uint64_t zeta_num,
+                       unsigned zeta_log2_den)
+    : graph_(&g),
+      coins_(coins),
+      d_(d),
+      zeta_num_(zeta_num),
+      zeta_log2_den_(zeta_log2_den),
+      levels_(std::move(init_levels)) {
+  if (d < 1) throw std::invalid_argument("PhaseClock: d must be >= 1");
+  if (zeta_log2_den == 0 || zeta_log2_den > 63 ||
+      zeta_num == 0 || zeta_num >= (static_cast<std::uint64_t>(1) << zeta_log2_den))
+    throw std::invalid_argument("PhaseClock: zeta must be in (0,1)");
+  if (levels_.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("PhaseClock: init size != num_vertices");
+  for (int lvl : levels_) {
+    if (lvl < 0 || lvl > top_level())
+      throw std::invalid_argument("PhaseClock: init level out of range");
+  }
+}
+
+PhaseClock PhaseClock::with_random_levels(const Graph& g, int d,
+                                          const CoinOracle& coins,
+                                          std::uint64_t zeta_num,
+                                          unsigned zeta_log2_den) {
+  std::vector<int> levels(static_cast<std::size_t>(g.num_vertices()));
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    levels[static_cast<std::size_t>(u)] = static_cast<int>(
+        coins.word(-1, u, CoinTag::kSwitchBit) % static_cast<std::uint64_t>(d + 3));
+  }
+  return PhaseClock(g, d, std::move(levels), coins, zeta_num, zeta_log2_den);
+}
+
+double PhaseClock::zeta() const {
+  return static_cast<double>(zeta_num_) /
+         std::pow(2.0, static_cast<double>(zeta_log2_den_));
+}
+
+void PhaseClock::step() {
+  const std::int64_t t = round_ + 1;
+  const int top = top_level();
+  scratch_.resize(levels_.size());
+  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
+    const int lvl = level(u);
+    bool reset_to_top = false;
+    if (lvl == top) {
+      // b = 0 with probability zeta; b = 1 keeps the vertex at top.
+      const bool b_is_zero =
+          coins_.dyadic_bernoulli(t, u, CoinTag::kSwitchBit, zeta_num_, zeta_log2_den_);
+      reset_to_top = !b_is_zero;
+    }
+    if (lvl == 0) reset_to_top = true;
+    if (reset_to_top) {
+      scratch_[static_cast<std::size_t>(u)] = top;
+      continue;
+    }
+    int max_level = lvl;
+    for (Vertex v : graph_->neighbors(u))
+      max_level = std::max(max_level, level(v));
+    scratch_[static_cast<std::size_t>(u)] = max_level - 1;
+  }
+  levels_.swap(scratch_);
+  ++round_;
+}
+
+void PhaseClock::force_level(Vertex u, int lvl) {
+  if (u < 0 || u >= graph_->num_vertices())
+    throw std::out_of_range("force_level: vertex out of range");
+  if (lvl < 0 || lvl > top_level())
+    throw std::invalid_argument("force_level: level out of range");
+  levels_[static_cast<std::size_t>(u)] = lvl;
+}
+
+}  // namespace ssmis

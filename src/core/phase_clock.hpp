@@ -1,0 +1,66 @@
+// Randomized phase clock, the core mechanism of the logarithmic switch
+// (Definition 26), generalized to a diameter parameter D as in Emek-Keren's
+// RandPhase [PODC 2021].
+//
+// Each vertex holds a level in {0, ..., D+2} (D+3 states; the paper's switch
+// is the D = 3 instance with 6 states). Per round, with top = D+2:
+//
+//   if level = top: draw a bit b with P[b = 0] = zeta
+//   if (level = top and b = 1) or level = 0:  level' = top
+//   else:                                     level' = max over N+(u) of level, minus 1
+//
+// The paper's insight (Section 5.1) is to run the D = 3 clock on graphs of
+// *arbitrary unknown* diameter: when diam(G) <= 2 the clock synchronizes and
+// yields both S2 and S3; on larger-diameter graphs only the upper bound S1
+// survives — which is exactly what the 3-color analysis needs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class PhaseClock {
+ public:
+  // zeta = zeta_num / 2^zeta_log2_den (the paper uses 1/2^7 = 4/a, a = 512).
+  // Throws std::invalid_argument for d < 1 or malformed zeta or init levels
+  // outside [0, d+2].
+  PhaseClock(const Graph& g, int d, std::vector<int> init_levels,
+             const CoinOracle& coins, std::uint64_t zeta_num = 1,
+             unsigned zeta_log2_den = 7);
+
+  // Uniformly random initial levels drawn from the oracle (self-stabilizing
+  // processes must cope with arbitrary levels).
+  static PhaseClock with_random_levels(const Graph& g, int d, const CoinOracle& coins,
+                                       std::uint64_t zeta_num = 1,
+                                       unsigned zeta_log2_den = 7);
+
+  void step();
+  std::int64_t round() const { return round_; }
+
+  int d() const { return d_; }
+  int top_level() const { return d_ + 2; }
+  int num_states() const { return d_ + 3; }
+  double zeta() const;
+
+  int level(Vertex u) const { return levels_[static_cast<std::size_t>(u)]; }
+  const std::vector<int>& levels() const { return levels_; }
+
+  // Test/fault hook.
+  void force_level(Vertex u, int level);
+
+ private:
+  const Graph* graph_;
+  CoinOracle coins_;
+  int d_;
+  std::uint64_t zeta_num_;
+  unsigned zeta_log2_den_;
+  std::vector<int> levels_;
+  std::vector<int> scratch_;
+  std::int64_t round_ = 0;
+};
+
+}  // namespace ssmis

@@ -1,0 +1,17 @@
+#include "core/runner.hpp"
+
+#include <sstream>
+
+namespace ssmis {
+
+std::string trace_to_csv(const RunResult& result) {
+  std::ostringstream oss;
+  oss << "round,black,active,stable_black,unstable,gray\n";
+  for (const RoundStats& s : result.trace) {
+    oss << s.round << ',' << s.black << ',' << s.active << ',' << s.stable_black
+        << ',' << s.unstable << ',' << s.gray << '\n';
+  }
+  return oss.str();
+}
+
+}  // namespace ssmis

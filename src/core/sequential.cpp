@@ -1,0 +1,136 @@
+#include "core/sequential.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ssmis {
+
+Vertex RoundRobinScheduler::pick(std::span<const Vertex> enabled,
+                                 std::int64_t /*step_index*/) {
+  // First enabled vertex with id >= cursor_, wrapping around.
+  auto it = std::lower_bound(enabled.begin(), enabled.end(), cursor_);
+  const Vertex chosen = it != enabled.end() ? *it : enabled.front();
+  cursor_ = chosen + 1;
+  return chosen;
+}
+
+Vertex RandomScheduler::pick(std::span<const Vertex> enabled, std::int64_t step_index) {
+  const std::uint64_t w = coins_.word(step_index, 0, CoinTag::kScheduler);
+  return enabled[static_cast<std::size_t>(w % enabled.size())];
+}
+
+Vertex MaxDegreeScheduler::pick(std::span<const Vertex> enabled,
+                                std::int64_t /*step_index*/) {
+  Vertex best = enabled.front();
+  for (Vertex u : enabled)
+    if (graph_->degree(u) > graph_->degree(best)) best = u;
+  return best;
+}
+
+Vertex LowestIdScheduler::pick(std::span<const Vertex> enabled,
+                               std::int64_t /*step_index*/) {
+  return enabled.front();
+}
+
+SequentialMIS::SequentialMIS(const Graph& g, std::vector<Color2> init)
+    : graph_(&g), colors_(std::move(init)),
+      moves_(static_cast<std::size_t>(g.num_vertices()), 0) {
+  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("SequentialMIS: init size != num_vertices");
+}
+
+Vertex SequentialMIS::black_neighbors(Vertex u) const {
+  Vertex count = 0;
+  for (Vertex v : graph_->neighbors(u))
+    if (black(v)) ++count;
+  return count;
+}
+
+bool SequentialMIS::enabled(Vertex u) const {
+  return black(u) ? black_neighbors(u) > 0 : black_neighbors(u) == 0;
+}
+
+std::vector<Vertex> SequentialMIS::enabled_set() const {
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
+    if (enabled(u)) out.push_back(u);
+  return out;
+}
+
+Color2 SequentialMIS::move(Vertex u) {
+  if (!enabled(u)) throw std::logic_error("SequentialMIS::move: vertex not enabled");
+  auto& c = colors_[static_cast<std::size_t>(u)];
+  c = (c == Color2::kBlack) ? Color2::kWhite : Color2::kBlack;
+  ++moves_[static_cast<std::size_t>(u)];
+  return c;
+}
+
+SequentialRunResult SequentialMIS::run(Scheduler& scheduler, std::int64_t max_moves) {
+  SequentialRunResult result;
+  for (std::int64_t i = 0; i < max_moves; ++i) {
+    const std::vector<Vertex> enabled = enabled_set();
+    if (enabled.empty()) {
+      result.stabilized = true;
+      break;
+    }
+    move(scheduler.pick(enabled, i));
+    ++result.total_moves;
+  }
+  if (enabled_set().empty()) result.stabilized = true;
+  if (!moves_.empty())
+    result.max_moves_per_vertex = *std::max_element(moves_.begin(), moves_.end());
+  return result;
+}
+
+Color2 SequentialMIS::move_randomized(Vertex u, std::int64_t step_index,
+                                      const CoinOracle& coins) {
+  if (!enabled(u))
+    throw std::logic_error("SequentialMIS::move_randomized: vertex not enabled");
+  auto& c = colors_[static_cast<std::size_t>(u)];
+  const Color2 drawn = coins.fair_coin(step_index, u, CoinTag::kScheduler)
+                           ? Color2::kBlack
+                           : Color2::kWhite;
+  if (drawn != c) {
+    c = drawn;
+    ++moves_[static_cast<std::size_t>(u)];
+  }
+  return c;
+}
+
+SequentialRunResult SequentialMIS::run_randomized(Scheduler& scheduler,
+                                                  const CoinOracle& coins,
+                                                  std::int64_t max_moves) {
+  SequentialRunResult result;
+  for (std::int64_t i = 0; i < max_moves; ++i) {
+    const std::vector<Vertex> enabled = enabled_set();
+    if (enabled.empty()) {
+      result.stabilized = true;
+      break;
+    }
+    move_randomized(scheduler.pick(enabled, i), i, coins);
+    ++result.total_moves;
+  }
+  if (enabled_set().empty()) result.stabilized = true;
+  if (!moves_.empty())
+    result.max_moves_per_vertex = *std::max_element(moves_.begin(), moves_.end());
+  return result;
+}
+
+Vertex SequentialMIS::step_parallel_deterministic() {
+  const std::vector<Vertex> movers = enabled_set();
+  for (Vertex u : movers) {
+    auto& c = colors_[static_cast<std::size_t>(u)];
+    c = (c == Color2::kBlack) ? Color2::kWhite : Color2::kBlack;
+    ++moves_[static_cast<std::size_t>(u)];
+  }
+  return static_cast<Vertex>(movers.size());
+}
+
+std::vector<Vertex> SequentialMIS::black_set() const {
+  std::vector<Vertex> out;
+  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
+    if (black(u)) out.push_back(u);
+  return out;
+}
+
+}  // namespace ssmis

@@ -1,0 +1,126 @@
+// The deterministic sequential self-stabilizing MIS algorithm the paper's
+// process parallelizes (Shukla-Rosenkrantz-Ravi 1995; Hedetniemi et al.
+// 2003), under a central daemon with pluggable schedulers.
+//
+// Rule for the single scheduled vertex u (a "move"):
+//   black with a black neighbor -> white
+//   white with no black neighbor -> black
+//
+// Known result exercised by tests and experiment E12: under *any* central
+// schedule, each vertex moves at most twice, so the algorithm stabilizes
+// within 2n moves. The synchronous deterministic parallelization, by
+// contrast, can livelock (two adjacent black vertices flip in lockstep
+// forever) — which is precisely why the paper's processes randomize.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+// Picks which enabled vertex moves next. `enabled` is non-empty and sorted.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual Vertex pick(std::span<const Vertex> enabled, std::int64_t step_index) = 0;
+  virtual std::string name() const = 0;
+};
+
+// Cycles through vertex ids, picking the next enabled vertex >= cursor.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  Vertex pick(std::span<const Vertex> enabled, std::int64_t step_index) override;
+  std::string name() const override { return "round-robin"; }
+
+ private:
+  Vertex cursor_ = 0;
+};
+
+// Uniformly random enabled vertex (deterministic per seed).
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : coins_(seed) {}
+  Vertex pick(std::span<const Vertex> enabled, std::int64_t step_index) override;
+  std::string name() const override { return "random"; }
+
+ private:
+  CoinOracle coins_;
+};
+
+// Adversary flavor: always the highest-degree enabled vertex (maximizes the
+// number of neighbors whose enabledness the move may toggle).
+class MaxDegreeScheduler final : public Scheduler {
+ public:
+  explicit MaxDegreeScheduler(const Graph& g) : graph_(&g) {}
+  Vertex pick(std::span<const Vertex> enabled, std::int64_t step_index) override;
+  std::string name() const override { return "max-degree"; }
+
+ private:
+  const Graph* graph_;
+};
+
+// Always the smallest enabled vertex id.
+class LowestIdScheduler final : public Scheduler {
+ public:
+  Vertex pick(std::span<const Vertex> enabled, std::int64_t step_index) override;
+  std::string name() const override { return "lowest-id"; }
+};
+
+struct SequentialRunResult {
+  bool stabilized = false;
+  std::int64_t total_moves = 0;
+  Vertex max_moves_per_vertex = 0;
+};
+
+class SequentialMIS {
+ public:
+  SequentialMIS(const Graph& g, std::vector<Color2> init);
+
+  // Enabled = would move if scheduled (same predicate as "active").
+  bool enabled(Vertex u) const;
+  std::vector<Vertex> enabled_set() const;
+  bool stabilized() const { return enabled_set().empty(); }
+
+  // Executes one move by `u` (must be enabled; throws std::logic_error
+  // otherwise). Returns the vertex's new color.
+  Color2 move(Vertex u);
+
+  // Runs under `scheduler` until no vertex is enabled or `max_moves` is hit.
+  SequentialRunResult run(Scheduler& scheduler, std::int64_t max_moves);
+
+  // Randomized transition ([Shukla et al. 95]'s observation, also the
+  // Turau-Weyer transformation): the scheduled enabled vertex moves to a
+  // uniformly random color instead of flipping deterministically. Under ANY
+  // central daemon this stabilizes with probability 1 (the deterministic
+  // <= 2-moves bound no longer holds, but adversarial schedules cannot force
+  // a livelock). The coin comes from `coins` keyed by the step index.
+  Color2 move_randomized(Vertex u, std::int64_t step_index, const CoinOracle& coins);
+  SequentialRunResult run_randomized(Scheduler& scheduler, const CoinOracle& coins,
+                                     std::int64_t max_moves);
+
+  // One *synchronous deterministic* round: every enabled vertex moves at
+  // once. Returns the number of movers. Exists to demonstrate livelock.
+  Vertex step_parallel_deterministic();
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<Color2>& colors() const { return colors_; }
+  bool black(Vertex u) const { return colors_[static_cast<std::size_t>(u)] == Color2::kBlack; }
+  std::vector<Vertex> black_set() const;
+  Vertex moves_of(Vertex u) const { return moves_[static_cast<std::size_t>(u)]; }
+
+ private:
+  Vertex black_neighbors(Vertex u) const;
+
+  const Graph* graph_;
+  std::vector<Color2> colors_;
+  std::vector<Vertex> moves_;
+};
+
+}  // namespace ssmis

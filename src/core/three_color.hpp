@@ -1,0 +1,106 @@
+// The 3-color MIS process (Definition 28): the paper's extension that is
+// provably poly(log n) on G(n,p) for the *entire* range 0 <= p <= 1
+// (Theorem 3 / Theorem 32).
+//
+// Two sub-processes run in lockstep on the same graph:
+//   1. a logarithmic switch emitting sigma_t(u) ∈ {on, off};
+//   2. a 2-state-like color process over {black, white, gray}:
+//        black with a black neighbor  -> uniform random {black, gray}
+//        white with no black neighbor -> uniform random {black, white}
+//        gray and sigma_{t-1} = on    -> white
+//        otherwise                    -> unchanged
+//
+// Gray vertices behave like non-active white vertices toward their
+// neighbors; the switch rate-limits how often a vertex can return to the
+// white (and hence black-competing) pool, which is what fixes the dense
+// regime the plain 2-state analysis cannot handle.
+//
+// With the randomized 6-state switch the combined per-vertex state space is
+// 3 x 6 = 18 states, matching the paper's Theorem 3.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/color.hpp"
+#include "core/log_switch.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class ThreeColorMIS {
+ public:
+  // Takes ownership of the switch, which must be freshly constructed (round
+  // 0) and built over the same graph. Throws std::invalid_argument on size
+  // mismatch or null/misaligned switch.
+  ThreeColorMIS(const Graph& g, std::vector<ColorG> init,
+                std::unique_ptr<SwitchProcess> sw, const CoinOracle& coins);
+
+  // Paper-default construction: randomized 6-state logarithmic switch with
+  // zeta = 2^-7 and random initial levels.
+  static ThreeColorMIS with_randomized_switch(const Graph& g,
+                                              std::vector<ColorG> init,
+                                              const CoinOracle& coins);
+
+  void step();
+  std::int64_t round() const { return round_; }
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<ColorG>& colors() const { return colors_; }
+  ColorG color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
+  bool black(Vertex u) const { return is_black(color(u)); }
+  bool gray(Vertex u) const { return color(u) == ColorG::kGray; }
+
+  Vertex black_neighbor_count(Vertex u) const {
+    return black_nbr_[static_cast<std::size_t>(u)];
+  }
+
+  // u takes a random transition next round (gray vertices never do).
+  bool active(Vertex u) const {
+    const ColorG c = color(u);
+    if (c == ColorG::kBlack) return black_neighbor_count(u) > 0;
+    if (c == ColorG::kWhite) return black_neighbor_count(u) == 0;
+    return false;
+  }
+
+  bool stable_black(Vertex u) const { return black(u) && black_neighbor_count(u) == 0; }
+
+  // Stabilized ⟺ black set is an MIS: no black-black edge, and every
+  // non-black vertex (white *or* gray) has a black neighbor.
+  bool stabilized() const { return num_violations_ == 0; }
+
+  Vertex num_black() const { return num_black_; }
+  Vertex num_gray() const { return num_gray_; }
+  Vertex num_active() const;
+  Vertex num_stable_black() const;
+  Vertex num_unstable() const;
+
+  std::vector<Vertex> black_set() const;
+
+  const SwitchProcess& switch_process() const { return *switch_; }
+  SwitchProcess& switch_process() { return *switch_; }
+
+  // Combined per-vertex state count (3 colors x switch states).
+  int num_states() const { return 3 * switch_->num_states(); }
+
+  void force_color(Vertex u, ColorG c);
+
+ private:
+  void rebuild_counters();
+  void recount_violations();
+
+  const Graph* graph_;
+  CoinOracle coins_;
+  std::vector<ColorG> colors_;
+  std::unique_ptr<SwitchProcess> switch_;
+  std::vector<Vertex> black_nbr_;
+  std::vector<ColorG> scratch_next_;
+  std::int64_t round_ = 0;
+  Vertex num_black_ = 0;
+  Vertex num_gray_ = 0;
+  Vertex num_violations_ = 0;
+};
+
+}  // namespace ssmis

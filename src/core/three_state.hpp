@@ -1,0 +1,94 @@
+// The 3-state MIS process (Definition 5 of the paper).
+//
+// States {black1, black0, white}; both black states count as black. Update
+// rule in round t (NC = set of neighbor colors at end of round t-1):
+//
+//   if c = black1, or (c = black0 and NC ∌ black1), or
+//      (c = white and no neighbor is black)
+//        -> c_t = uniform random in {black1, black0}
+//   else if c = black0 (i.e. black0 with a black1 neighbor)
+//        -> c_t = white
+//   else  (white with a black neighbor)
+//        -> unchanged
+//
+// Note on the white rule: the paper writes "NC_t(u) = {white}". For graphs
+// with isolated vertices that literal reading (NC = ∅ ≠ {white}) would leave
+// an isolated white vertex stuck forever and the process could never reach
+// an MIS, so — as clearly intended — we implement the condition as "white
+// and no black neighbor". On graphs without isolated vertices the two
+// readings coincide.
+//
+// A stable black vertex alternates between black1/black0 forever; the black
+// *set* is what stabilizes. No collision detection is needed: the process
+// translates to the synchronous stone-age model with two one-bit channels
+// ("some neighbor is black", "some neighbor is black1").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class ThreeStateMIS {
+ public:
+  ThreeStateMIS(const Graph& g, std::vector<Color3> init, const CoinOracle& coins);
+
+  void step();
+  std::int64_t round() const { return round_; }
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<Color3>& colors() const { return colors_; }
+  Color3 color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
+  bool black(Vertex u) const { return is_black(color(u)); }
+
+  Vertex black_neighbor_count(Vertex u) const {
+    return black_nbr_[static_cast<std::size_t>(u)];
+  }
+  Vertex black1_neighbor_count(Vertex u) const {
+    return black1_nbr_[static_cast<std::size_t>(u)];
+  }
+
+  // u takes the random {black1, black0} transition next round.
+  bool active(Vertex u) const {
+    const Color3 c = color(u);
+    if (c == Color3::kBlack1) return true;
+    if (c == Color3::kBlack0) return black1_neighbor_count(u) == 0;
+    return black_neighbor_count(u) == 0;  // white with no black neighbor
+  }
+
+  // Black-set violation count: blacks with black neighbors + whites without
+  // black neighbors. Zero ⟺ the black set is an MIS ⟺ stabilized.
+  bool stabilized() const { return num_violations_ == 0; }
+
+  bool stable_black(Vertex u) const { return black(u) && black_neighbor_count(u) == 0; }
+
+  Vertex num_black() const { return num_black_; }
+  Vertex num_active() const;
+  Vertex num_stable_black() const;
+  Vertex num_unstable() const;
+  Vertex num_gray() const { return 0; }
+
+  std::vector<Vertex> black_set() const;
+
+  void force_color(Vertex u, Color3 c);
+
+ private:
+  void rebuild_counters();
+  void recount_violations();
+
+  const Graph* graph_;
+  CoinOracle coins_;
+  std::vector<Color3> colors_;
+  std::vector<Vertex> black_nbr_;   // neighbors in {black0, black1}
+  std::vector<Vertex> black1_nbr_;  // neighbors in {black1}
+  std::vector<Color3> scratch_next_;
+  std::int64_t round_ = 0;
+  Vertex num_black_ = 0;
+  Vertex num_violations_ = 0;
+};
+
+}  // namespace ssmis

@@ -1,0 +1,90 @@
+// The 2-state MIS process (Definition 4 of the paper).
+//
+// Each vertex holds a binary color. In every synchronous round, every
+// *active* vertex — black with a black neighbor, or white with no black
+// neighbor — resamples its color uniformly at random; all other vertices
+// keep their color. Once the black set is a maximal independent set nothing
+// is active and the process has stabilized.
+//
+// Randomness: the color drawn by vertex u in round t is CoinOracle's
+// phi_t(u), exactly the coupling device of Section 2.1, so runs are
+// reproducible and bit-identical to the beeping-model simulation.
+//
+// Complexity: a round costs O(n + sum of deg(u) over vertices that changed
+// color), thanks to incrementally maintained black-neighbor counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class TwoStateMIS {
+ public:
+  // `init` must have size g.num_vertices(); the graph must outlive the
+  // process. Throws std::invalid_argument on size mismatch.
+  TwoStateMIS(const Graph& g, std::vector<Color2> init, const CoinOracle& coins);
+
+  // Executes one synchronous round (round counter advances by one).
+  void step();
+
+  // Rounds executed so far; colors() is c_t with t = round().
+  std::int64_t round() const { return round_; }
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<Color2>& colors() const { return colors_; }
+  Color2 color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
+  bool black(Vertex u) const { return is_black(color(u)); }
+
+  // Number of black neighbors of u (maintained incrementally).
+  Vertex black_neighbor_count(Vertex u) const {
+    return black_nbr_[static_cast<std::size_t>(u)];
+  }
+
+  // u ∈ A_t: u takes a random transition in the next round.
+  bool active(Vertex u) const {
+    return black(u) ? black_neighbor_count(u) > 0 : black_neighbor_count(u) == 0;
+  }
+
+  // u ∈ I_t: stable black (black with no black neighbor).
+  bool stable_black(Vertex u) const { return black(u) && black_neighbor_count(u) == 0; }
+
+  // |B_t|, |A_t| (O(1), maintained); |I_t|, |V_t| (O(n + m) scans).
+  Vertex num_black() const { return num_black_; }
+  Vertex num_active() const { return num_active_; }
+  Vertex num_stable_black() const;
+  Vertex num_unstable() const;  // |V_t| = |V \ N+(I_t)|
+  Vertex num_gray() const { return 0; }  // uniform trace interface
+
+  std::vector<Vertex> black_set() const;
+  std::vector<Vertex> active_set() const;
+  std::vector<Vertex> stable_black_set() const;
+  std::vector<Vertex> unstable_set() const;
+
+  // Stabilized ⟺ A_t = ∅ ⟺ the black set is an MIS.
+  bool stabilized() const { return num_active_ == 0; }
+
+  // Fault-injection / test hook: overwrite one vertex's color, keeping the
+  // internal counters consistent. Counts as a transient fault, not a round.
+  void force_color(Vertex u, Color2 c);
+
+  const CoinOracle& coins() const { return coins_; }
+
+ private:
+  void recount_active();
+
+  const Graph* graph_;
+  CoinOracle coins_;
+  std::vector<Color2> colors_;
+  std::vector<Vertex> black_nbr_;
+  std::vector<Vertex> scratch_changed_;
+  std::int64_t round_ = 0;
+  Vertex num_black_ = 0;
+  Vertex num_active_ = 0;
+};
+
+}  // namespace ssmis

@@ -1,0 +1,72 @@
+// Parameterized variant of the 2-state MIS process, for the ablation
+// experiments around the paper's design choices:
+//
+//  * `black_bias` q: an active vertex resamples to black with probability q
+//    (the paper fixes q = 1/2; footnote 1 notes the transition choice is a
+//    simplification for analysis, so we measure how q affects speed);
+//  * `eager_white` : a white active vertex becomes black with probability 1
+//    (the deterministic transition footnote 1 mentions), while black active
+//    vertices still resample with bias q.
+//
+// With q = 1/2 and eager_white = false this is exactly Definition 4, which
+// the test suite verifies against TwoStateMIS.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class TwoStateVariant {
+ public:
+  // Throws std::invalid_argument unless 0 < black_bias < 1 (q = 0 or 1 can
+  // deadlock) and init matches the graph size.
+  TwoStateVariant(const Graph& g, std::vector<Color2> init, const CoinOracle& coins,
+                  double black_bias, bool eager_white);
+
+  void step();
+  std::int64_t round() const { return round_; }
+
+  const Graph& graph() const { return *graph_; }
+  const std::vector<Color2>& colors() const { return colors_; }
+  bool black(Vertex u) const {
+    return colors_[static_cast<std::size_t>(u)] == Color2::kBlack;
+  }
+  Vertex black_neighbor_count(Vertex u) const {
+    return black_nbr_[static_cast<std::size_t>(u)];
+  }
+  bool active(Vertex u) const {
+    return black(u) ? black_neighbor_count(u) > 0 : black_neighbor_count(u) == 0;
+  }
+
+  bool stabilized() const { return num_active_ == 0; }
+
+  Vertex num_black() const { return num_black_; }
+  Vertex num_active() const { return num_active_; }
+  Vertex num_stable_black() const;
+  Vertex num_unstable() const;
+  Vertex num_gray() const { return 0; }
+
+  std::vector<Vertex> black_set() const;
+
+  double black_bias() const { return black_bias_; }
+  bool eager_white() const { return eager_white_; }
+
+ private:
+  const Graph* graph_;
+  CoinOracle coins_;
+  std::vector<Color2> colors_;
+  std::vector<Vertex> black_nbr_;
+  std::vector<Vertex> scratch_changed_;
+  std::int64_t round_ = 0;
+  Vertex num_black_ = 0;
+  Vertex num_active_ = 0;
+  double black_bias_;
+  bool eager_white_;
+};
+
+}  // namespace ssmis

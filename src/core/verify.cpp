@@ -1,0 +1,113 @@
+#include "core/verify.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ssmis {
+
+namespace {
+
+void check_size(const Graph& g, const std::vector<char>& in_set) {
+  if (in_set.size() != static_cast<std::size_t>(g.num_vertices()))
+    throw std::invalid_argument("verify: membership vector size != num_vertices");
+}
+
+}  // namespace
+
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set) {
+  check_size(g, in_set);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!in_set[static_cast<std::size_t>(u)]) continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (v > u && in_set[static_cast<std::size_t>(v)]) return false;
+    }
+  }
+  return true;
+}
+
+bool is_maximal(const Graph& g, const std::vector<char>& in_set) {
+  check_size(g, in_set);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (in_set[static_cast<std::size_t>(u)]) continue;
+    bool has_member_neighbor = false;
+    for (Vertex v : g.neighbors(u)) {
+      if (in_set[static_cast<std::size_t>(v)]) {
+        has_member_neighbor = true;
+        break;
+      }
+    }
+    if (!has_member_neighbor) return false;
+  }
+  return true;
+}
+
+bool is_mis(const Graph& g, const std::vector<char>& in_set) {
+  return is_independent_set(g, in_set) && is_maximal(g, in_set);
+}
+
+std::vector<char> members_to_mask(Vertex n, const std::vector<Vertex>& members) {
+  std::vector<char> mask(static_cast<std::size_t>(n), 0);
+  for (Vertex u : members) {
+    if (u < 0 || u >= n)
+      throw std::out_of_range("members_to_mask: vertex out of range");
+    mask[static_cast<std::size_t>(u)] = 1;
+  }
+  return mask;
+}
+
+bool is_independent_set(const Graph& g, const std::vector<Vertex>& members) {
+  return is_independent_set(g, members_to_mask(g.num_vertices(), members));
+}
+
+bool is_maximal(const Graph& g, const std::vector<Vertex>& members) {
+  return is_maximal(g, members_to_mask(g.num_vertices(), members));
+}
+
+bool is_mis(const Graph& g, const std::vector<Vertex>& members) {
+  return is_mis(g, members_to_mask(g.num_vertices(), members));
+}
+
+std::optional<std::string> find_mis_violation(const Graph& g,
+                                              const std::vector<char>& in_set) {
+  check_size(g, in_set);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!in_set[static_cast<std::size_t>(u)]) continue;
+    for (Vertex v : g.neighbors(u)) {
+      if (v > u && in_set[static_cast<std::size_t>(v)]) {
+        std::ostringstream oss;
+        oss << "independence violated: members " << u << " and " << v
+            << " are adjacent";
+        return oss.str();
+      }
+    }
+  }
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (in_set[static_cast<std::size_t>(u)]) continue;
+    bool has_member_neighbor = false;
+    for (Vertex v : g.neighbors(u)) {
+      if (in_set[static_cast<std::size_t>(v)]) {
+        has_member_neighbor = true;
+        break;
+      }
+    }
+    if (!has_member_neighbor) {
+      std::ostringstream oss;
+      oss << "maximality violated: vertex " << u << " has no member neighbor";
+      return oss.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Vertex> greedy_mis(const Graph& g) {
+  std::vector<char> blocked(static_cast<std::size_t>(g.num_vertices()), 0);
+  std::vector<Vertex> mis;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (blocked[static_cast<std::size_t>(u)]) continue;
+    mis.push_back(u);
+    for (Vertex v : g.neighbors(u)) blocked[static_cast<std::size_t>(v)] = 1;
+  }
+  return mis;
+}
+
+}  // namespace ssmis

@@ -1,0 +1,42 @@
+// MIS verification and reference construction.
+//
+// These functions take the global graph view (which the distributed
+// processes never do) and are the ground truth for tests, the runner's
+// stabilization cross-checks, and the experiment harness.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmis {
+
+// No two set members are adjacent. Accepts membership as a 0/1 vector of
+// size n. Throws std::invalid_argument on size mismatch.
+bool is_independent_set(const Graph& g, const std::vector<char>& in_set);
+
+// Every non-member has a member neighbor (i.e. the set is dominating, which
+// together with independence makes it maximal).
+bool is_maximal(const Graph& g, const std::vector<char>& in_set);
+
+bool is_mis(const Graph& g, const std::vector<char>& in_set);
+
+// Vertex-list conveniences.
+bool is_independent_set(const Graph& g, const std::vector<Vertex>& members);
+bool is_maximal(const Graph& g, const std::vector<Vertex>& members);
+bool is_mis(const Graph& g, const std::vector<Vertex>& members);
+
+// Human-readable description of the first violation found, or nullopt if
+// the set is an MIS. For test failure messages.
+std::optional<std::string> find_mis_violation(const Graph& g,
+                                              const std::vector<char>& in_set);
+
+// Deterministic greedy MIS (ascending vertex order): the reference answer
+// for size comparisons.
+std::vector<Vertex> greedy_mis(const Graph& g);
+
+std::vector<char> members_to_mask(Vertex n, const std::vector<Vertex>& members);
+
+}  // namespace ssmis

@@ -1,0 +1,39 @@
+// Mutable edge accumulator producing immutable CSR Graphs.
+//
+// Generators add edges freely (duplicates and both orientations are fine);
+// build() sorts, deduplicates, and validates once.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmis {
+
+class GraphBuilder {
+ public:
+  // Throws std::invalid_argument if n < 0.
+  explicit GraphBuilder(Vertex n);
+
+  Vertex num_vertices() const { return n_; }
+
+  // Records an undirected edge {u, v}. Self-loops are silently dropped
+  // (the MIS processes are defined on simple graphs). Throws
+  // std::invalid_argument on out-of-range endpoints.
+  void add_edge(Vertex u, Vertex v);
+
+  std::size_t num_recorded_edges() const { return edges_.size(); }
+
+  // Consumes the builder. Duplicate edges collapse to one.
+  Graph build() &&;
+  // Non-destructive build for callers that keep adding edges afterwards.
+  Graph build() const&;
+
+ private:
+  static Graph build_from(Vertex n, std::vector<Edge> edges);
+
+  Vertex n_;
+  std::vector<Edge> edges_;  // stored with u < v
+};
+
+}  // namespace ssmis

@@ -1,0 +1,346 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace ssmis {
+namespace gen {
+
+namespace {
+
+void require(bool cond, const char* message) {
+  if (!cond) throw std::invalid_argument(message);
+}
+
+}  // namespace
+
+Graph complete(Vertex n) {
+  require(n >= 0, "complete: n must be >= 0");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u)
+    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph path(Vertex n) {
+  require(n >= 0, "path: n must be >= 0");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  return std::move(b).build();
+}
+
+Graph cycle(Vertex n) {
+  require(n >= 0, "cycle: n must be >= 0");
+  GraphBuilder b(n);
+  for (Vertex u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
+  if (n >= 3) b.add_edge(n - 1, 0);
+  return std::move(b).build();
+}
+
+Graph star(Vertex n) {
+  require(n >= 0, "star: n must be >= 0");
+  GraphBuilder b(n);
+  for (Vertex u = 1; u < n; ++u) b.add_edge(0, u);
+  return std::move(b).build();
+}
+
+Graph complete_bipartite(Vertex a, Vertex b_size) {
+  require(a >= 0 && b_size >= 0, "complete_bipartite: sizes must be >= 0");
+  GraphBuilder b(a + b_size);
+  for (Vertex u = 0; u < a; ++u)
+    for (Vertex v = a; v < a + b_size; ++v) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph disjoint_cliques(Vertex count, Vertex size) {
+  require(count >= 0 && size >= 0, "disjoint_cliques: sizes must be >= 0");
+  GraphBuilder b(count * size);
+  for (Vertex c = 0; c < count; ++c) {
+    const Vertex base = c * size;
+    for (Vertex i = 0; i < size; ++i)
+      for (Vertex j = i + 1; j < size; ++j) b.add_edge(base + i, base + j);
+  }
+  return std::move(b).build();
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  require(rows >= 0 && cols >= 0, "grid: dimensions must be >= 0");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph torus(Vertex rows, Vertex cols) {
+  require(rows >= 0 && cols >= 0, "torus: dimensions must be >= 0");
+  GraphBuilder b(rows * cols);
+  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+  for (Vertex r = 0; r < rows; ++r) {
+    for (Vertex c = 0; c < cols; ++c) {
+      b.add_edge(id(r, c), id(r, (c + 1) % cols));
+      b.add_edge(id(r, c), id((r + 1) % rows, c));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph hypercube(int dim) {
+  require(dim >= 0 && dim < 25, "hypercube: dim must be in [0, 25)");
+  const Vertex n = static_cast<Vertex>(1) << dim;
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    for (int bit = 0; bit < dim; ++bit) {
+      const Vertex v = u ^ (static_cast<Vertex>(1) << bit);
+      if (u < v) b.add_edge(u, v);
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph binary_tree(Vertex n) {
+  require(n >= 0, "binary_tree: n must be >= 0");
+  GraphBuilder b(n);
+  for (Vertex u = 1; u < n; ++u) b.add_edge(u, (u - 1) / 2);
+  return std::move(b).build();
+}
+
+Graph caterpillar(Vertex spine, Vertex legs) {
+  require(spine >= 0 && legs >= 0, "caterpillar: sizes must be >= 0");
+  const Vertex n = spine + spine * legs;
+  GraphBuilder b(n);
+  for (Vertex s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
+  for (Vertex s = 0; s < spine; ++s)
+    for (Vertex l = 0; l < legs; ++l) b.add_edge(s, spine + s * legs + l);
+  return std::move(b).build();
+}
+
+Graph barbell(Vertex k) {
+  require(k >= 1, "barbell: clique size must be >= 1");
+  GraphBuilder b(2 * k);
+  for (Vertex i = 0; i < k; ++i) {
+    for (Vertex j = i + 1; j < k; ++j) {
+      b.add_edge(i, j);
+      b.add_edge(k + i, k + j);
+    }
+  }
+  b.add_edge(k - 1, k);  // the bridge
+  return std::move(b).build();
+}
+
+Graph gnp(Vertex n, double p, std::uint64_t seed) {
+  require(n >= 0, "gnp: n must be >= 0");
+  require(p >= 0.0 && p <= 1.0, "gnp: p must be in [0,1]");
+  if (p >= 1.0) return complete(n);
+  GraphBuilder b(n);
+  if (p > 0.0) {
+    // Skip-sampling over the lexicographic enumeration of pairs (u < v):
+    // the gap between successive present edges is geometric(p).
+    Xoshiro256 rng(seed);
+    const double log_1mp = std::log1p(-p);
+    std::int64_t v = 1;
+    std::int64_t u = -1;
+    while (v < n) {
+      const double r = rng.next_double();
+      const double skip_f = std::floor(std::log1p(-r) / log_1mp);
+      std::int64_t skip =
+          skip_f >= 1e18 ? static_cast<std::int64_t>(1e18)
+                         : static_cast<std::int64_t>(skip_f);
+      u += 1 + skip;
+      while (u >= v && v < n) {
+        u -= v;
+        ++v;
+      }
+      if (v < n) b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph gnm(Vertex n, std::int64_t m, std::uint64_t seed) {
+  require(n >= 0, "gnm: n must be >= 0");
+  const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  require(m >= 0 && m <= max_m, "gnm: m out of range");
+  Xoshiro256 rng(seed);
+  std::set<Edge> chosen;
+  while (static_cast<std::int64_t>(chosen.size()) < m) {
+    Vertex u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Vertex v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.emplace(u, v);
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : chosen) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+Graph random_tree(Vertex n, std::uint64_t seed) {
+  require(n >= 0, "random_tree: n must be >= 0");
+  if (n <= 1) return Graph::from_edges(n, {});
+  if (n == 2) return Graph::from_edges(2, {{0, 1}});
+  // Pruefer decoding: uniform over the n^(n-2) labeled trees.
+  Xoshiro256 rng(seed);
+  std::vector<Vertex> pruefer(static_cast<std::size_t>(n) - 2);
+  for (auto& x : pruefer)
+    x = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+  std::vector<Vertex> remaining_degree(static_cast<std::size_t>(n), 1);
+  for (Vertex x : pruefer) ++remaining_degree[static_cast<std::size_t>(x)];
+
+  GraphBuilder b(n);
+  std::set<Vertex> leaves;
+  for (Vertex u = 0; u < n; ++u)
+    if (remaining_degree[static_cast<std::size_t>(u)] == 1) leaves.insert(u);
+  for (Vertex x : pruefer) {
+    const Vertex leaf = *leaves.begin();
+    leaves.erase(leaves.begin());
+    b.add_edge(leaf, x);
+    if (--remaining_degree[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
+  }
+  const Vertex a = *leaves.begin();
+  const Vertex c = *std::next(leaves.begin());
+  b.add_edge(a, c);
+  return std::move(b).build();
+}
+
+Graph random_recursive_tree(Vertex n, std::uint64_t seed) {
+  require(n >= 0, "random_recursive_tree: n must be >= 0");
+  Xoshiro256 rng(seed);
+  GraphBuilder b(n);
+  for (Vertex u = 1; u < n; ++u) {
+    const Vertex parent =
+        static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(u)));
+    b.add_edge(u, parent);
+  }
+  return std::move(b).build();
+}
+
+Graph forest_union(Vertex n, int k, std::uint64_t seed) {
+  require(k >= 1, "forest_union: k must be >= 1");
+  GraphBuilder b(n);
+  for (int i = 0; i < k; ++i) {
+    const Graph tree = random_tree(n, seed + static_cast<std::uint64_t>(i) * 0x9e3779b9ULL);
+    for (const auto& [u, v] : tree.edge_list()) b.add_edge(u, v);
+  }
+  return std::move(b).build();
+}
+
+Graph random_regular(Vertex n, int d, std::uint64_t seed) {
+  require(n >= 0 && d >= 0, "random_regular: n, d must be >= 0");
+  require(static_cast<std::int64_t>(n) * d % 2 == 0, "random_regular: n*d must be even");
+  require(d < n || n == 0, "random_regular: need d < n");
+  // Configuration model: pair up n*d stubs uniformly; drop loops/multi-edges.
+  Xoshiro256 rng(seed);
+  std::vector<Vertex> stubs;
+  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+  for (Vertex u = 0; u < n; ++u)
+    for (int i = 0; i < d; ++i) stubs.push_back(u);
+  // Fisher-Yates shuffle, then pair consecutive stubs.
+  for (std::size_t i = stubs.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(stubs[i - 1], stubs[j]);
+  }
+  GraphBuilder b(n);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) b.add_edge(stubs[i], stubs[i + 1]);
+  return std::move(b).build();
+}
+
+Graph random_geometric(Vertex n, double radius, std::uint64_t seed) {
+  require(n >= 0, "random_geometric: n must be >= 0");
+  require(radius >= 0.0, "random_geometric: radius must be >= 0");
+  Xoshiro256 rng(seed);
+  std::vector<double> x(static_cast<std::size_t>(n));
+  std::vector<double> y(static_cast<std::size_t>(n));
+  for (Vertex u = 0; u < n; ++u) {
+    x[static_cast<std::size_t>(u)] = rng.next_double();
+    y[static_cast<std::size_t>(u)] = rng.next_double();
+  }
+  // Bucket grid with cell side >= radius: candidates are the 3x3 neighborhood.
+  // Resolution is capped at sqrt(n) cells per side — finer grids cost memory
+  // without pruning more pairs (and radius -> 0 would otherwise explode).
+  const int max_cells =
+      std::max(1, static_cast<int>(std::ceil(std::sqrt(static_cast<double>(n)))));
+  const int cells = std::clamp(
+      static_cast<int>(std::floor(1.0 / std::max(radius, 1e-9))), 1, max_cells);
+  std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(cells) * cells);
+  auto bucket_of = [&](Vertex u) {
+    int cx = std::min(cells - 1, static_cast<int>(x[static_cast<std::size_t>(u)] * cells));
+    int cy = std::min(cells - 1, static_cast<int>(y[static_cast<std::size_t>(u)] * cells));
+    return static_cast<std::size_t>(cx) * static_cast<std::size_t>(cells) +
+           static_cast<std::size_t>(cy);
+  };
+  for (Vertex u = 0; u < n; ++u) buckets[bucket_of(u)].push_back(u);
+
+  const double r2 = radius * radius;
+  GraphBuilder b(n);
+  for (Vertex u = 0; u < n; ++u) {
+    const std::size_t bu = bucket_of(u);
+    const int cx = static_cast<int>(bu / static_cast<std::size_t>(cells));
+    const int cy = static_cast<int>(bu % static_cast<std::size_t>(cells));
+    for (int dx = -1; dx <= 1; ++dx) {
+      for (int dy = -1; dy <= 1; ++dy) {
+        const int nx = cx + dx;
+        const int ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (Vertex v : buckets[static_cast<std::size_t>(nx) * cells +
+                                static_cast<std::size_t>(ny)]) {
+          if (v <= u) continue;
+          const double ddx = x[static_cast<std::size_t>(u)] - x[static_cast<std::size_t>(v)];
+          const double ddy = y[static_cast<std::size_t>(u)] - y[static_cast<std::size_t>(v)];
+          if (ddx * ddx + ddy * ddy <= r2) b.add_edge(u, v);
+        }
+      }
+    }
+  }
+  return std::move(b).build();
+}
+
+Graph small_world(Vertex n, int k, double beta, std::uint64_t seed) {
+  require(n >= 0 && k >= 0, "small_world: n, k must be >= 0");
+  require(beta >= 0.0 && beta <= 1.0, "small_world: beta must be in [0,1]");
+  require(2 * k < n || n == 0, "small_world: need 2k < n");
+  Xoshiro256 rng(seed);
+  std::set<Edge> edges;
+  for (Vertex u = 0; u < n; ++u) {
+    for (int j = 1; j <= k; ++j) {
+      Vertex v = static_cast<Vertex>((u + j) % n);
+      Vertex a = u, c = v;
+      if (a > c) std::swap(a, c);
+      edges.emplace(a, c);
+    }
+  }
+  std::vector<Edge> rewired;
+  for (const Edge& e : edges) {
+    if (rng.next_double() < beta) {
+      // Rewire: keep endpoint u, pick a fresh non-neighbor target.
+      Vertex u = e.first;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        Vertex w = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+        if (w == u) continue;
+        Vertex a = u, c = w;
+        if (a > c) std::swap(a, c);
+        if (edges.count({a, c}) > 0) continue;
+        rewired.emplace_back(a, c);
+        break;
+      }
+    } else {
+      rewired.push_back(e);
+    }
+  }
+  GraphBuilder b(n);
+  for (const auto& [u, v] : rewired) b.add_edge(u, v);
+  return std::move(b).build();
+}
+
+}  // namespace gen
+}  // namespace ssmis

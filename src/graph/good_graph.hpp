@@ -1,0 +1,73 @@
+// (n,p)-good graphs: Definition 17 of the paper.
+//
+// The analysis of the 2-state and 3-color processes on G(n,p) works for any
+// graph satisfying properties P1-P6; Lemma 18 shows a G(n,p) sample is good
+// w.h.p. This module checks the properties:
+//
+//   P1: every induced subgraph has average degree <= max{8 p |S|, 4 ln n}.
+//   P2: every S with |S| >= 40 ln(n)/p has at most |S|/2 outside vertices
+//       with fewer than p|S|/2 neighbors in S.
+//   P3: for disjoint S, T, I with |S| >= 2|T| and (S ∪ T) ∩ N(I) = ∅:
+//       |N(T) \ N+(S ∪ I)| <= |N(S) \ N+(I)| + 8 ln^2(n)/p.
+//   P4: for disjoint S, T with |S| >= |T|, |T| <= ln(n)/p:
+//       |E(S,T)| <= 6 |S| ln n.
+//   P5: no two vertices have more than max{6 n p^2, 4 ln n} common neighbors.
+//   P6: if p >= 2 sqrt(ln(n)/n) then diam(G) <= 2.
+//
+// P5 and P6 are checked exactly (polynomial). P1-P4 quantify over all vertex
+// subsets; we provide (a) exhaustive checks for small n (tests), and
+// (b) randomized refutation search for larger n (the Lemma 18 experiment):
+// sampled subsets drawn from adversarially biased distributions (degree-
+// ordered prefixes, neighborhoods, uniform) try to violate the property.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmis {
+
+struct GoodGraphReport {
+  bool p1 = true;
+  bool p2 = true;
+  bool p3 = true;
+  bool p4 = true;
+  bool p5 = true;
+  bool p6 = true;  // vacuously true when p < 2 sqrt(ln n / n)
+  bool p6_applicable = false;
+
+  bool all() const { return p1 && p2 && p3 && p4 && p5 && p6; }
+  std::string to_string() const;
+};
+
+// Exhaustive verification over all subsets; exponential, intended for
+// n <= ~16 in tests.
+GoodGraphReport check_good_exhaustive(const Graph& g, double p);
+
+// Randomized refutation search with `samples` candidate subsets per
+// property. A returned `true` for P1-P4 means "no violation found".
+GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
+                                   std::uint64_t seed);
+
+// Individual exact predicates (used by both drivers and by tests).
+bool check_p5(const Graph& g, double p);
+bool check_p6(const Graph& g, double p);
+bool p6_applies(Vertex n, double p);
+
+// P1 predicate for one subset.
+bool p1_holds_for_subset(const Graph& g, double p, const std::vector<Vertex>& subset);
+// P2 predicate for one subset.
+bool p2_holds_for_subset(const Graph& g, double p, const std::vector<Vertex>& subset);
+// P4 predicate for one (S, T) pair.
+bool p4_holds_for_pair(const Graph& g, const std::vector<Vertex>& s,
+                       const std::vector<Vertex>& t);
+// P3 predicate for one (S, T, I) triplet; `precondition_met` is set to false
+// (and the check returns true) when the triplet does not satisfy the
+// property's preconditions.
+bool p3_holds_for_triplet(const Graph& g, double p, const std::vector<Vertex>& s,
+                          const std::vector<Vertex>& t, const std::vector<Vertex>& i,
+                          bool* precondition_met);
+
+}  // namespace ssmis

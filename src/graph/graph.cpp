@@ -1,0 +1,62 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/builder.hpp"
+
+namespace ssmis {
+
+Graph::Graph() : n_(0), offsets_(1, 0) {}
+
+Graph::Graph(Vertex n, std::vector<std::int64_t> offsets, std::vector<Vertex> adj)
+    : n_(n), offsets_(std::move(offsets)), adj_(std::move(adj)) {}
+
+Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
+  GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+  return builder.build();
+}
+
+Graph Graph::from_edges(Vertex n, std::initializer_list<Edge> edges) {
+  return from_edges(n, std::span<const Edge>(edges.begin(), edges.size()));
+}
+
+Vertex Graph::max_degree() const {
+  Vertex best = 0;
+  for (Vertex u = 0; u < n_; ++u) best = std::max(best, degree(u));
+  return best;
+}
+
+double Graph::average_degree() const {
+  if (n_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) / static_cast<double>(n_);
+}
+
+bool Graph::has_edge(Vertex u, Vertex v) const {
+  if (u < 0 || v < 0 || u >= n_ || v >= n_ || u == v) return false;
+  // Search in the shorter adjacency list.
+  if (degree(u) > degree(v)) std::swap(u, v);
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<Edge> Graph::edge_list() const {
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<std::size_t>(num_edges()));
+  for (Vertex u = 0; u < n_; ++u) {
+    for (Vertex v : neighbors(u)) {
+      if (u < v) edges.emplace_back(u, v);
+    }
+  }
+  return edges;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream oss;
+  oss << "Graph(n=" << n_ << ", m=" << num_edges() << ", maxdeg=" << max_degree()
+      << ")";
+  return oss.str();
+}
+
+}  // namespace ssmis

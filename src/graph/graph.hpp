@@ -1,0 +1,70 @@
+// Immutable undirected graph in compressed sparse row (CSR) form.
+//
+// All processes, models, and verifiers operate on this type. Vertices are
+// dense integers [0, n). Adjacency lists are sorted, deduplicated, and
+// loop-free (enforced by GraphBuilder), so `has_edge` is a binary search and
+// neighborhood iteration is cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ssmis {
+
+using Vertex = std::int32_t;
+using Edge = std::pair<Vertex, Vertex>;
+
+class Graph {
+ public:
+  // Empty graph (0 vertices). Useful as a placeholder; all queries are valid.
+  Graph();
+
+  // Builds from an arbitrary edge list: self-loops are dropped, duplicate and
+  // reversed duplicates are merged, endpoints are validated against [0, n).
+  // Throws std::invalid_argument on out-of-range endpoints or negative n.
+  static Graph from_edges(Vertex n, std::span<const Edge> edges);
+  static Graph from_edges(Vertex n, std::initializer_list<Edge> edges);
+
+  Vertex num_vertices() const { return n_; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(adj_.size()) / 2; }
+
+  // Sorted, duplicate-free open neighborhood of u.
+  std::span<const Vertex> neighbors(Vertex u) const {
+    return {adj_.data() + offsets_[static_cast<std::size_t>(u)],
+            adj_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+  }
+
+  Vertex degree(Vertex u) const {
+    return static_cast<Vertex>(offsets_[static_cast<std::size_t>(u) + 1] -
+                               offsets_[static_cast<std::size_t>(u)]);
+  }
+
+  Vertex max_degree() const;
+  double average_degree() const;
+
+  // Binary search over the sorted adjacency list of the lower-degree endpoint.
+  bool has_edge(Vertex u, Vertex v) const;
+
+  // All edges (u < v), in increasing (u, v) order.
+  std::vector<Edge> edge_list() const;
+
+  bool operator==(const Graph& other) const {
+    return n_ == other.n_ && offsets_ == other.offsets_ && adj_ == other.adj_;
+  }
+
+  // One-line human-readable summary, e.g. "Graph(n=100, m=250, maxdeg=9)".
+  std::string summary() const;
+
+ private:
+  friend class GraphBuilder;
+  Graph(Vertex n, std::vector<std::int64_t> offsets, std::vector<Vertex> adj);
+
+  Vertex n_ = 0;
+  std::vector<std::int64_t> offsets_;  // size n+1
+  std::vector<Vertex> adj_;            // size 2m, sorted within each row
+};
+
+}  // namespace ssmis

@@ -1,0 +1,27 @@
+// Graph serialization: whitespace edge-list format and Graphviz DOT export.
+//
+// Edge-list format: first line `n m`, then one `u v` pair per line. Lines
+// starting with '#' are comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ssmis {
+namespace io {
+
+void write_edge_list(std::ostream& os, const Graph& g);
+// Throws std::runtime_error on malformed input.
+Graph read_edge_list(std::istream& is);
+
+// DOT export; `highlight` vertices (e.g. an MIS) are filled black.
+void write_dot(std::ostream& os, const Graph& g,
+               const std::vector<Vertex>& highlight = {});
+
+std::string to_edge_list_string(const Graph& g);
+Graph from_edge_list_string(const std::string& text);
+
+}  // namespace io
+}  // namespace ssmis

@@ -1,0 +1,131 @@
+#include "harness/experiment.hpp"
+
+#include <stdexcept>
+
+#include "core/runner.hpp"
+#include "core/three_color.hpp"
+#include "core/three_state.hpp"
+#include "core/two_state.hpp"
+#include "core/verify.hpp"
+
+namespace ssmis {
+
+std::string to_string(ProcessKind kind) {
+  switch (kind) {
+    case ProcessKind::kTwoState: return "2-state";
+    case ProcessKind::kThreeState: return "3-state";
+    case ProcessKind::kThreeColor: return "3-color";
+  }
+  return "?";
+}
+
+namespace {
+
+template <MisProcess P>
+RunResult run_and_check(const Graph& g, P& process, std::int64_t max_rounds,
+                        TraceMode mode) {
+  RunResult result = run_until_stabilized(process, max_rounds, mode);
+  if (result.stabilized && !is_mis(g, process.black_set()))
+    throw std::logic_error("experiment: process stabilized on a non-MIS");
+  return result;
+}
+
+RunResult run_one(const Graph& g, const MeasureConfig& config, std::uint64_t seed,
+                  TraceMode mode) {
+  const CoinOracle coins(seed);
+  switch (config.kind) {
+    case ProcessKind::kTwoState: {
+      TwoStateMIS process(g, make_init2(g, config.init, coins), coins);
+      return run_and_check(g, process, config.max_rounds, mode);
+    }
+    case ProcessKind::kThreeState: {
+      ThreeStateMIS process(g, make_init3(g, config.init, coins), coins);
+      return run_and_check(g, process, config.max_rounds, mode);
+    }
+    case ProcessKind::kThreeColor: {
+      ThreeColorMIS process = ThreeColorMIS::with_randomized_switch(
+          g, make_init_g(g, config.init, coins), coins);
+      return run_and_check(g, process, config.max_rounds, mode);
+    }
+  }
+  throw std::logic_error("experiment: unknown process kind");
+}
+
+}  // namespace
+
+Measurements measure_stabilization(const Graph& g, const MeasureConfig& config) {
+  Measurements out;
+  for (int trial = 0; trial < config.trials; ++trial) {
+    const RunResult result =
+        run_one(g, config, config.seed + static_cast<std::uint64_t>(trial),
+                TraceMode::kNone);
+    if (result.stabilized) {
+      out.stabilization_rounds.push_back(static_cast<double>(result.rounds));
+    } else {
+      ++out.timeouts;
+    }
+  }
+  out.summary = summarize(out.stabilization_rounds);
+  return out;
+}
+
+RunResult traced_run(const Graph& g, const MeasureConfig& config) {
+  return run_one(g, config, config.seed, TraceMode::kPerRound);
+}
+
+namespace {
+
+// Marks vertices covered by N+(stable blacks) under `process`'s current
+// colors and records first-cover rounds.
+template <typename Process>
+void record_coverage(const Graph& g, const Process& process, std::int64_t round,
+                     std::vector<std::int64_t>* times) {
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (!process.stable_black(u)) continue;
+    auto mark = [&](Vertex v) {
+      auto& t = (*times)[static_cast<std::size_t>(v)];
+      if (t < 0) t = round;
+    };
+    mark(u);
+    for (Vertex v : g.neighbors(u)) mark(v);
+  }
+}
+
+template <typename Process>
+std::vector<std::int64_t> per_vertex_times(const Graph& g, Process& process,
+                                           std::int64_t max_rounds) {
+  std::vector<std::int64_t> times(static_cast<std::size_t>(g.num_vertices()), -1);
+  record_coverage(g, process, 0, &times);
+  std::int64_t round = 0;
+  while (!process.stabilized() && round < max_rounds) {
+    process.step();
+    ++round;
+    record_coverage(g, process, round, &times);
+  }
+  return times;
+}
+
+}  // namespace
+
+std::vector<std::int64_t> vertex_stabilization_times(const Graph& g,
+                                                     const MeasureConfig& config) {
+  const CoinOracle coins(config.seed);
+  switch (config.kind) {
+    case ProcessKind::kTwoState: {
+      TwoStateMIS process(g, make_init2(g, config.init, coins), coins);
+      return per_vertex_times(g, process, config.max_rounds);
+    }
+    case ProcessKind::kThreeState: {
+      ThreeStateMIS process(g, make_init3(g, config.init, coins), coins);
+      return per_vertex_times(g, process, config.max_rounds);
+    }
+    case ProcessKind::kThreeColor: {
+      ThreeColorMIS process = ThreeColorMIS::with_randomized_switch(
+          g, make_init_g(g, config.init, coins), coins);
+      return per_vertex_times(g, process, config.max_rounds);
+    }
+  }
+  throw std::logic_error("vertex_stabilization_times: unknown process kind");
+}
+
+}  // namespace ssmis

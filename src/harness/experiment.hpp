@@ -1,0 +1,52 @@
+// Shared experiment driver: every bench binary measures stabilization times
+// through this module so trials, seeds, initial patterns, and timeout
+// handling are uniform across the reproduction tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/init.hpp"
+#include "core/trace.hpp"
+#include "graph/graph.hpp"
+#include "stats/summary.hpp"
+
+namespace ssmis {
+
+enum class ProcessKind { kTwoState, kThreeState, kThreeColor };
+
+std::string to_string(ProcessKind kind);
+
+struct MeasureConfig {
+  ProcessKind kind = ProcessKind::kTwoState;
+  InitPattern init = InitPattern::kUniformRandom;
+  int trials = 20;
+  std::uint64_t seed = 1;
+  std::int64_t max_rounds = 1000000;
+};
+
+struct Measurements {
+  std::vector<double> stabilization_rounds;  // one entry per stabilized trial
+  int timeouts = 0;                          // trials that hit max_rounds
+  Summary summary;                           // over stabilization_rounds
+};
+
+// Runs `config.trials` independent executions of the chosen process on `g`
+// (seeds seed, seed+1, ...), each from `config.init` states, and verifies
+// that every stabilized run's black set is an MIS (aborts via exception if
+// not — the harness never reports an invalid "success").
+Measurements measure_stabilization(const Graph& g, const MeasureConfig& config);
+
+// Single traced run, for shape plots.
+RunResult traced_run(const Graph& g, const MeasureConfig& config);
+
+// Per-vertex stabilization times of one run: entry u is the first round at
+// the end of which u is covered by N+(I_t) (stability is monotone, so this
+// is u's stabilization time per Section 2's definition), or -1 if the run
+// hit the horizon before u stabilized. Used by the local-vs-global
+// convergence experiment: most vertices settle long before the last one.
+std::vector<std::int64_t> vertex_stabilization_times(const Graph& g,
+                                                     const MeasureConfig& config);
+
+}  // namespace ssmis

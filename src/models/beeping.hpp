@@ -1,0 +1,98 @@
+// The beeping model with sender collision detection (a.k.a. full-duplex),
+// as in Cornejo-Kuhn 2010 / Afek et al. 2013 — the communication model the
+// 2-state MIS process targets (Section 1 of the paper).
+//
+// Per synchronous round, every node either beeps or listens, driven by a
+// finite-state automaton with no IDs and no knowledge of the graph. The
+// single bit a node receives is "did at least one *neighbor* beep?". Sender
+// collision detection means a beeping node receives this bit too.
+//
+// The network simulator is generic over the automaton; `mis_automata.hpp`
+// provides the 2-state MIS automaton, and the test suite proves its
+// execution bit-identical to the direct TwoStateMIS simulation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+enum class BeepAction : std::uint8_t { kListen = 0, kBeep = 1 };
+
+// Node behavior. States are opaque bytes; the automaton interprets them.
+class BeepingAutomaton {
+ public:
+  virtual ~BeepingAutomaton() = default;
+
+  virtual int num_states() const = 0;
+
+  // What the node does this round, as a function of its state only.
+  virtual BeepAction emit(std::uint8_t state) const = 0;
+
+  // Transition at the end of the round. `heard` is the feedback bit (some
+  // neighbor beeped); `coin_word` is the node's private randomness for the
+  // round (64 uniform bits).
+  virtual std::uint8_t next(std::uint8_t state, bool heard,
+                            std::uint64_t coin_word) const = 0;
+
+  // Interpretation hook: does this state claim MIS membership?
+  virtual bool in_mis(std::uint8_t state) const = 0;
+};
+
+class BeepingNetwork {
+ public:
+  // The automaton must outlive the network. Throws std::invalid_argument on
+  // init size mismatch or states outside [0, num_states).
+  //
+  // `sender_collision_detection` selects the model variant: with it (the
+  // paper's full-duplex assumption), a beeping node also receives the
+  // carrier-sense bit; without it, a beeping node learns nothing. The
+  // 2-state MIS algorithm provably needs the former — two adjacent black
+  // nodes could otherwise never detect their conflict (see the
+  // NoCollisionDetection tests for the stuck execution).
+  BeepingNetwork(const Graph& g, const BeepingAutomaton& automaton,
+                 std::vector<std::uint8_t> init, const CoinOracle& coins,
+                 bool sender_collision_detection = true);
+
+  void step();
+  std::int64_t round() const { return round_; }
+
+  const std::vector<std::uint8_t>& states() const { return states_; }
+  std::uint8_t state(Vertex u) const { return states_[static_cast<std::size_t>(u)]; }
+
+  std::vector<Vertex> claimed_mis() const;
+
+  // Communication accounting for experiment E13: every node sends at most
+  // one bit per round (beep or silence).
+  std::int64_t total_beeps() const { return total_beeps_; }
+  Vertex beeps_last_round() const { return beeps_last_round_; }
+
+  const Graph& graph() const { return *graph_; }
+  bool sender_collision_detection() const { return sender_cd_; }
+
+  // Lossy-channel robustness knob: each round, each receiver's carrier-sense
+  // bit is independently suppressed (heard -> silence) with this probability
+  // — modeling fading/interference misses. The MIS processes tolerate this:
+  // losses can re-activate settled vertices, but self-stabilization pulls
+  // the system back (see exp_lossy). Throws std::invalid_argument outside
+  // [0, 1).
+  void set_loss_probability(double p);
+  double loss_probability() const { return loss_probability_; }
+
+ private:
+  const Graph* graph_;
+  const BeepingAutomaton* automaton_;
+  CoinOracle coins_;
+  std::vector<std::uint8_t> states_;
+  std::vector<char> beeping_;  // scratch
+  std::int64_t round_ = 0;
+  std::int64_t total_beeps_ = 0;
+  Vertex beeps_last_round_ = 0;
+  bool sender_cd_ = true;
+  double loss_probability_ = 0.0;
+};
+
+}  // namespace ssmis

@@ -1,0 +1,72 @@
+// The synchronous stone-age model (Emek-Wattenhofer 2013), in the form the
+// paper uses: a constant number of beeping channels without collision
+// detection. Each node beeps on at most one channel per round and receives,
+// per channel, the single bit "did at least one neighbor beep on it?"
+// (the one-two-many principle with bounding parameter b = 1).
+//
+// The 3-state MIS process runs in this model with 2 channels; the 3-color
+// process (18 states) runs with one channel per state via full-state
+// announcement. Both automata live in mis_automata.hpp.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+
+class StoneAgeAutomaton {
+ public:
+  virtual ~StoneAgeAutomaton() = default;
+
+  virtual int num_states() const = 0;
+  virtual int num_channels() const = 0;  // the communication alphabet size
+
+  // Channel this state beeps on, or -1 for silence. (At most one channel:
+  // the stone-age restriction.)
+  virtual int emit(std::uint8_t state) const = 0;
+
+  // `heard_mask` bit c is set iff >= 1 neighbor beeped on channel c.
+  // `w_color` / `w_aux` are two independent 64-bit random words for the
+  // round (MIS coin and auxiliary sub-process coin, respectively).
+  virtual std::uint8_t next(std::uint8_t state, std::uint32_t heard_mask,
+                            std::uint64_t w_color, std::uint64_t w_aux) const = 0;
+
+  virtual bool in_mis(std::uint8_t state) const = 0;
+};
+
+class StoneAgeNetwork {
+ public:
+  // Throws std::invalid_argument on init size/state range violations or if
+  // the automaton declares more than 32 channels.
+  StoneAgeNetwork(const Graph& g, const StoneAgeAutomaton& automaton,
+                  std::vector<std::uint8_t> init, const CoinOracle& coins);
+
+  void step();
+  std::int64_t round() const { return round_; }
+
+  const std::vector<std::uint8_t>& states() const { return states_; }
+  std::uint8_t state(Vertex u) const { return states_[static_cast<std::size_t>(u)]; }
+
+  std::vector<Vertex> claimed_mis() const;
+
+  // Messages are letters from a constant alphabet: log2(channels+1) bits
+  // of information per node per round.
+  std::int64_t total_transmissions() const { return total_transmissions_; }
+
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  const Graph* graph_;
+  const StoneAgeAutomaton* automaton_;
+  CoinOracle coins_;
+  std::vector<std::uint8_t> states_;
+  std::vector<std::int8_t> channel_;    // scratch: per-node emitted channel
+  std::vector<std::uint32_t> heard_;    // scratch: per-node heard mask
+  std::int64_t round_ = 0;
+  std::int64_t total_transmissions_ = 0;
+};
+
+}  // namespace ssmis

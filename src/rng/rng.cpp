@@ -1,0 +1,17 @@
+#include "rng/xoshiro256.hpp"
+
+namespace ssmis {
+
+std::uint64_t Xoshiro256::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling: draw from the largest multiple of `bound` that fits
+  // in 64 bits; expected < 2 draws for any bound.
+  const std::uint64_t limit = max() - max() % bound;
+  std::uint64_t draw;
+  do {
+    draw = next();
+  } while (draw >= limit);
+  return draw % bound;
+}
+
+}  // namespace ssmis

@@ -1,0 +1,37 @@
+// SplitMix64: the standard 64-bit mixing function (Steele, Lea & Flood 2014).
+//
+// Used (a) to expand a user seed into Xoshiro256++ state, and (b) as the
+// avalanche primitive of the counter-based CoinOracle.
+#pragma once
+
+#include <cstdint>
+
+namespace ssmis {
+
+// One SplitMix64 step applied to `x` (the fixed-increment variant folded in
+// by the caller). This is the finalizer only: callers add the golden-gamma
+// increment themselves when generating sequences.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Stateful SplitMix64 sequence generator; used for seeding other engines.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return splitmix64_mix(state_);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ssmis

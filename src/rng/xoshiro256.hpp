@@ -1,0 +1,59 @@
+// Xoshiro256++ (Blackman & Vigna 2019): fast, high-quality 64-bit generator.
+//
+// Satisfies the C++ UniformRandomBitGenerator requirements so it can be used
+// with <random> distributions where convenient (harness-side code only; the
+// processes themselves draw through CoinOracle for reproducibility).
+#pragma once
+
+#include <cstdint>
+
+#include "rng/splitmix64.hpp"
+
+namespace ssmis {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~static_cast<result_type>(0); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound) without modulo bias (Lemire's method would need
+  // 128-bit multiply; we use rejection sampling on the top bits instead).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool next_bool() { return (next() >> 63) != 0; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace ssmis

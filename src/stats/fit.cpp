@@ -1,0 +1,55 @@
+#include "stats/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ssmis {
+
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("fit_linear: size mismatch");
+  if (x.size() < 2) throw std::invalid_argument("fit_linear: need >= 2 points");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  LinearFit fit;
+  if (std::abs(denom) < 1e-12) {
+    fit.slope = 0.0;
+    fit.intercept = sy / n;
+  } else {
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+  }
+  double ss_res = 0.0, ss_tot = 0.0;
+  const double ybar = sy / n;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pred = fit.intercept + fit.slope * x[i];
+    ss_res += (y[i] - pred) * (y[i] - pred);
+    ss_tot += (y[i] - ybar) * (y[i] - ybar);
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double ratio_spread(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size()) throw std::invalid_argument("ratio_spread: size mismatch");
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] <= 0.0) continue;
+    const double r = y[i] / x[i];
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  if (!std::isfinite(lo) || lo <= 0.0) return 0.0;
+  return hi / lo;
+}
+
+}  // namespace ssmis

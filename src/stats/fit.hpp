@@ -1,0 +1,26 @@
+// Least-squares fits used to check growth-rate claims: we regress measured
+// stabilization times against transformed predictors (log n, log^2 n,
+// delta*log n, ...) and report the fit quality, turning "is it O(log n)?"
+// into "is the T / log n ratio flat and the R^2 high?".
+#pragma once
+
+#include <vector>
+
+namespace ssmis {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+};
+
+// Ordinary least squares y = intercept + slope * x. Throws
+// std::invalid_argument if sizes differ or fewer than 2 points.
+LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+
+// Ratio diagnostics: max(y_i/x_i) / min(y_i/x_i) over positive x. A growth
+// claim y = Theta(x) predicts this stays O(1) as x grows; a wrong guess
+// (e.g. y = Theta(x log x) against x) makes it drift with n.
+double ratio_spread(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace ssmis

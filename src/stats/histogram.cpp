@@ -1,0 +1,89 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "support/table.hpp"
+
+namespace ssmis {
+
+std::vector<HistogramBin> build_histogram(const std::vector<double>& values, int bins) {
+  if (bins < 1) throw std::invalid_argument("build_histogram: bins must be >= 1");
+  if (values.empty()) return {};
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  const double lo = *lo_it;
+  double hi = *hi_it;
+  if (hi == lo) hi = lo + 1.0;  // all-equal data: one unit-wide bin span
+  const double width = (hi - lo) / bins;
+  std::vector<HistogramBin> out(static_cast<std::size_t>(bins));
+  for (int b = 0; b < bins; ++b) {
+    out[static_cast<std::size_t>(b)].low = lo + b * width;
+    out[static_cast<std::size_t>(b)].high = lo + (b + 1) * width;
+  }
+  for (double v : values) {
+    int b = static_cast<int>((v - lo) / width);
+    b = std::clamp(b, 0, bins - 1);
+    ++out[static_cast<std::size_t>(b)].count;
+  }
+  return out;
+}
+
+std::string render_histogram(const std::vector<HistogramBin>& bins, int width) {
+  if (bins.empty()) return "";
+  int max_count = 1;
+  for (const auto& bin : bins) max_count = std::max(max_count, bin.count);
+  std::ostringstream oss;
+  for (const auto& bin : bins) {
+    const int bar = bin.count == 0
+                        ? 0
+                        : std::max(1, static_cast<int>(std::lround(
+                                       static_cast<double>(bin.count) * width /
+                                       max_count)));
+    oss << "[" << format_double(bin.low, 1) << ", " << format_double(bin.high, 1)
+        << ")\t" << bin.count << "\t" << std::string(static_cast<std::size_t>(bar), '#')
+        << "\n";
+  }
+  return oss.str();
+}
+
+std::string sparkline(const std::vector<double>& series) {
+  static const char kGlyphs[] = ".:-=+*#%";
+  constexpr int kLevels = 8;
+  if (series.empty()) return "";
+  const auto [lo_it, hi_it] = std::minmax_element(series.begin(), series.end());
+  const double lo = *lo_it;
+  const double hi = *hi_it;
+  std::string out;
+  out.reserve(series.size());
+  for (double v : series) {
+    int level = 0;
+    if (hi > lo) {
+      level = static_cast<int>((v - lo) / (hi - lo) * (kLevels - 1) + 0.5);
+      level = std::clamp(level, 0, kLevels - 1);
+    }
+    out += kGlyphs[level];
+  }
+  return out;
+}
+
+std::vector<double> downsample_max(const std::vector<double>& series,
+                                   std::size_t max_points) {
+  if (max_points == 0) throw std::invalid_argument("downsample_max: max_points == 0");
+  if (series.size() <= max_points) return series;
+  std::vector<double> out;
+  out.reserve(max_points);
+  const double chunk = static_cast<double>(series.size()) / static_cast<double>(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const std::size_t begin = static_cast<std::size_t>(i * chunk);
+    std::size_t end = static_cast<std::size_t>((i + 1) * chunk);
+    end = std::min(std::max(end, begin + 1), series.size());
+    double best = series[begin];
+    for (std::size_t j = begin; j < end; ++j) best = std::max(best, series[j]);
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace ssmis

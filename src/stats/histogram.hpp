@@ -1,0 +1,36 @@
+// Text visualization of distributions and time series: fixed-bin ASCII
+// histograms for stabilization-time distributions, and sparklines for
+// per-round progress traces. Used by the simulate example and the
+// trace-shape experiment.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ssmis {
+
+struct HistogramBin {
+  double low = 0.0;
+  double high = 0.0;
+  int count = 0;
+};
+
+// Equal-width bins over [min, max] of the data; `bins` >= 1. Empty input
+// yields an empty vector.
+std::vector<HistogramBin> build_histogram(const std::vector<double>& values, int bins);
+
+// Renders one line per bin: "[low, high)  count  ####...". Bars are scaled
+// to `width` characters for the largest bin.
+std::string render_histogram(const std::vector<HistogramBin>& bins, int width = 40);
+
+// One-line sparkline of a series using 8 block glyph levels, scaled to the
+// series' own min/max. ASCII fallback (".:-=+*#%") keeps the output
+// terminal-safe; empty series renders as "".
+std::string sparkline(const std::vector<double>& series);
+
+// Downsamples a series to at most `max_points` by taking the max of each
+// chunk (preserves peaks, which is what progress plots need).
+std::vector<double> downsample_max(const std::vector<double>& series,
+                                   std::size_t max_points);
+
+}  // namespace ssmis

@@ -1,0 +1,34 @@
+#include "stats/tail.hpp"
+
+namespace ssmis {
+
+std::vector<TailPoint> empirical_tail(const std::vector<double>& samples,
+                                      const std::vector<double>& thresholds) {
+  std::vector<TailPoint> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    TailPoint point;
+    point.threshold = t;
+    for (double x : samples)
+      if (x >= t) ++point.exceed_count;
+    point.probability = samples.empty()
+                            ? 0.0
+                            : static_cast<double>(point.exceed_count) /
+                                  static_cast<double>(samples.size());
+    out.push_back(point);
+  }
+  return out;
+}
+
+double mean_tail_decay(const std::vector<TailPoint>& tail) {
+  double sum = 0.0;
+  int count = 0;
+  for (std::size_t i = 0; i + 1 < tail.size(); ++i) {
+    if (tail[i].probability <= 0.0 || tail[i + 1].probability <= 0.0) continue;
+    sum += tail[i + 1].probability / tail[i].probability;
+    ++count;
+  }
+  return count > 0 ? sum / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace ssmis

@@ -1,0 +1,25 @@
+// Empirical tail probabilities: Theorem 8 claims
+// P[T >= k log n] = 2^{-Theta(k)} on the clique — we estimate the tail of
+// the stabilization-time distribution and compare successive tail ratios.
+#pragma once
+
+#include <vector>
+
+namespace ssmis {
+
+struct TailPoint {
+  double threshold = 0.0;
+  double probability = 0.0;  // empirical P[X >= threshold]
+  int exceed_count = 0;
+};
+
+// Evaluates P[X >= t] at each threshold.
+std::vector<TailPoint> empirical_tail(const std::vector<double>& samples,
+                                      const std::vector<double>& thresholds);
+
+// Geometric-decay diagnostic: mean ratio P[X >= t_{i+1}] / P[X >= t_i] over
+// points with nonzero tail; a 2^{-Theta(k)} tail over equally spaced
+// thresholds keeps this ratio bounded away from 1.
+double mean_tail_decay(const std::vector<TailPoint>& tail);
+
+}  // namespace ssmis

@@ -1,0 +1,87 @@
+#include "support/cli.hpp"
+
+#include <charconv>
+#include <cstdlib>
+
+namespace ssmis {
+
+namespace {
+
+// Returns true if `s` looks like an option token (`--name` or `--name=value`).
+bool is_option(const std::string& s) {
+  return s.size() > 2 && s[0] == '-' && s[1] == '-';
+}
+
+}  // namespace
+
+CliArgs CliArgs::parse(int argc, const char* const* argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (!is_option(tok)) {
+      args.positional_.push_back(std::move(tok));
+      continue;
+    }
+    std::string body = tok.substr(2);
+    auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      args.options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` form: consume the next token if it is not an option.
+    if (i + 1 < argc && !is_option(argv[i + 1])) {
+      args.options_[body] = argv[i + 1];
+      ++i;
+    } else {
+      args.options_[body] = "";  // boolean flag
+    }
+  }
+  return args;
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  std::int64_t value = 0;
+  const std::string& s = it->second;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    errors_.push_back("--" + name + ": expected integer, got '" + s + "'");
+    return fallback;
+  }
+  return value;
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& s = it->second;
+  char* end = nullptr;
+  double value = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    errors_.push_back("--" + name + ": expected number, got '" + s + "'");
+    return fallback;
+  }
+  return value;
+}
+
+std::string CliArgs::get_string(const std::string& name, const std::string& fallback) const {
+  auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& s = it->second;
+  if (s.empty() || s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  errors_.push_back("--" + name + ": expected boolean, got '" + s + "'");
+  return fallback;
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return options_.count(name) > 0;
+}
+
+}  // namespace ssmis

@@ -1,0 +1,46 @@
+// Minimal command-line argument parsing for bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms.
+// Unknown arguments are collected and can be reported as errors, so that
+// typos in sweep parameters do not silently run the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ssmis {
+
+// Parsed view of argv. Values are stored as strings and converted on access.
+class CliArgs {
+ public:
+  CliArgs() = default;
+
+  // Parses argv[1..argc). Never throws; malformed numeric values surface when
+  // the typed accessor is called (falling back to the provided default and
+  // recording an error).
+  static CliArgs parse(int argc, const char* const* argv);
+
+  // Typed accessors; return `fallback` when the option is absent.
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  bool has(const std::string& name) const;
+
+  // Positional (non --option) arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Conversion failures accumulated by the typed accessors.
+  const std::vector<std::string>& errors() const { return errors_; }
+
+ private:
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace ssmis

@@ -1,0 +1,31 @@
+#include "support/csv.hpp"
+
+namespace ssmis {
+
+std::string CsvWriter::escape(const std::string& cell) {
+  bool needs_quote = false;
+  for (char c : cell) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quote = true;
+      break;
+    }
+  }
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+}
+
+}  // namespace ssmis

@@ -1,0 +1,26 @@
+// CSV emission for experiment results, so runs can be post-processed
+// (plotting, regression) outside the harness.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssmis {
+
+// Streaming CSV writer with RFC-4180 style quoting. Rows may be ragged;
+// the writer does not enforce a column count (the harness controls shape).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  void write_row(const std::vector<std::string>& cells);
+
+  // Quotes `cell` if it contains a comma, quote, or newline.
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace ssmis

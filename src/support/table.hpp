@@ -1,0 +1,48 @@
+// Fixed-width text table rendering for experiment output.
+//
+// Every bench binary reports its results through this printer so that all
+// reproduction tables share one format: a title line, a header row, aligned
+// data rows, and an optional note citing the paper's predicted value.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ssmis {
+
+// Column-aligned table. Cells are strings; numeric helpers format doubles
+// with a fixed precision. Widths are computed from content.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  // Starts a new row. Subsequent add_cell calls append to it.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_cell(std::int64_t value);
+  void add_cell(double value, int precision = 2);
+
+  // Convenience: append a complete row at once.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+
+  // Renders with 2-space column gaps; pads ragged rows with empty cells.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (no locale surprises).
+std::string format_double(double value, int precision = 2);
+
+// Prints a section banner: `== title ==` padded to a constant width.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace ssmis

@@ -1,0 +1,119 @@
+// Naive reference implementations of the paper's update rules, written
+// directly from Definitions 4, 5, 26 and 28 with no incremental-counter
+// optimizations. The unit tests run the optimized library processes against
+// these references round-by-round (differential testing): both consume the
+// same CoinOracle words, so states must match exactly.
+#pragma once
+
+#include <vector>
+
+#include "core/color.hpp"
+#include "graph/graph.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis::testing {
+
+// Definition 4, literal transcription.
+inline std::vector<Color2> reference_step2(const Graph& g,
+                                           const std::vector<Color2>& c,
+                                           const CoinOracle& coins,
+                                           std::int64_t t) {
+  std::vector<Color2> next = c;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    bool has_black_neighbor = false;
+    for (Vertex v : g.neighbors(u))
+      if (c[static_cast<std::size_t>(v)] == Color2::kBlack) has_black_neighbor = true;
+    const bool active =
+        (c[static_cast<std::size_t>(u)] == Color2::kBlack && has_black_neighbor) ||
+        (c[static_cast<std::size_t>(u)] == Color2::kWhite && !has_black_neighbor);
+    if (active) {
+      next[static_cast<std::size_t>(u)] =
+          coins.fair_coin(t, u) ? Color2::kBlack : Color2::kWhite;
+    }
+  }
+  return next;
+}
+
+// Definition 5, with the isolated-vertex reading documented in
+// three_state.hpp ("white with no black neighbor" rather than NC == {white}).
+inline std::vector<Color3> reference_step3(const Graph& g,
+                                           const std::vector<Color3>& c,
+                                           const CoinOracle& coins,
+                                           std::int64_t t) {
+  std::vector<Color3> next = c;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    bool heard_black1 = false;
+    bool heard_black = false;
+    for (Vertex v : g.neighbors(u)) {
+      const Color3 cv = c[static_cast<std::size_t>(v)];
+      if (cv == Color3::kBlack1) heard_black1 = true;
+      if (cv != Color3::kWhite) heard_black = true;
+    }
+    const Color3 cu = c[static_cast<std::size_t>(u)];
+    const bool active = cu == Color3::kBlack1 ||
+                        (cu == Color3::kBlack0 && !heard_black1) ||
+                        (cu == Color3::kWhite && !heard_black);
+    if (active) {
+      next[static_cast<std::size_t>(u)] =
+          coins.fair_coin(t, u) ? Color3::kBlack1 : Color3::kBlack0;
+    } else if (cu == Color3::kBlack0) {
+      next[static_cast<std::size_t>(u)] = Color3::kWhite;
+    }
+  }
+  return next;
+}
+
+// Definition 26 phase-clock step for arbitrary D.
+inline std::vector<int> reference_clock_step(const Graph& g,
+                                             const std::vector<int>& levels,
+                                             const CoinOracle& coins, std::int64_t t,
+                                             int d, std::uint64_t zeta_num = 1,
+                                             unsigned zeta_log2_den = 7) {
+  const int top = d + 2;
+  std::vector<int> next(levels.size());
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    const int lvl = levels[static_cast<std::size_t>(u)];
+    bool reset = false;
+    if (lvl == top) {
+      const bool b_zero =
+          coins.dyadic_bernoulli(t, u, CoinTag::kSwitchBit, zeta_num, zeta_log2_den);
+      reset = !b_zero;
+    }
+    if (lvl == 0) reset = true;
+    if (reset) {
+      next[static_cast<std::size_t>(u)] = top;
+    } else {
+      int mx = lvl;
+      for (Vertex v : g.neighbors(u))
+        mx = std::max(mx, levels[static_cast<std::size_t>(v)]);
+      next[static_cast<std::size_t>(u)] = mx - 1;
+    }
+  }
+  return next;
+}
+
+// Definition 28 color step given the previous round's switch values.
+inline std::vector<ColorG> reference_step_g(const Graph& g,
+                                            const std::vector<ColorG>& c,
+                                            const std::vector<char>& sigma_on,
+                                            const CoinOracle& coins, std::int64_t t) {
+  std::vector<ColorG> next = c;
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    bool heard_black = false;
+    for (Vertex v : g.neighbors(u))
+      if (c[static_cast<std::size_t>(v)] == ColorG::kBlack) heard_black = true;
+    const ColorG cu = c[static_cast<std::size_t>(u)];
+    if (cu == ColorG::kBlack && heard_black) {
+      next[static_cast<std::size_t>(u)] =
+          coins.fair_coin(t, u) ? ColorG::kBlack : ColorG::kGray;
+    } else if (cu == ColorG::kWhite && !heard_black) {
+      next[static_cast<std::size_t>(u)] =
+          coins.fair_coin(t, u) ? ColorG::kBlack : ColorG::kWhite;
+    } else if (cu == ColorG::kGray && sigma_on[static_cast<std::size_t>(u)]) {
+      next[static_cast<std::size_t>(u)] = ColorG::kWhite;
+    }
+  }
+  return next;
+}
+
+}  // namespace ssmis::testing

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace ssmis {
+namespace {
+
+TEST(Generators, CompleteGraph) {
+  const Graph g = gen::complete(6);
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 15);
+  EXPECT_EQ(g.max_degree(), 5);
+  for (Vertex u = 0; u < 6; ++u)
+    for (Vertex v = 0; v < 6; ++v) {
+      if (u != v) EXPECT_TRUE(g.has_edge(u, v));
+    }
+}
+
+TEST(Generators, CompleteEdgeCases) {
+  EXPECT_EQ(gen::complete(0).num_vertices(), 0);
+  EXPECT_EQ(gen::complete(1).num_edges(), 0);
+  EXPECT_EQ(gen::complete(2).num_edges(), 1);
+}
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, CycleDegreesAllTwo) {
+  const Graph g = gen::cycle(7);
+  EXPECT_EQ(g.num_edges(), 7);
+  for (Vertex u = 0; u < 7; ++u) EXPECT_EQ(g.degree(u), 2);
+}
+
+TEST(Generators, CycleSmallCases) {
+  EXPECT_EQ(gen::cycle(2).num_edges(), 1);  // degenerate: a single edge
+  EXPECT_EQ(gen::cycle(3).num_edges(), 3);
+}
+
+TEST(Generators, Star) {
+  const Graph g = gen::star(9);
+  EXPECT_EQ(g.degree(0), 8);
+  for (Vertex u = 1; u < 9; ++u) EXPECT_EQ(g.degree(u), 1);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_TRUE(has_diameter_at_most_2(g));
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(3, 4);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(triangle_count(g), 0);
+}
+
+TEST(Generators, DisjointCliques) {
+  const Graph g = gen::disjoint_cliques(4, 5);
+  EXPECT_EQ(g.num_vertices(), 20);
+  EXPECT_EQ(g.num_edges(), 4 * 10);
+  EXPECT_EQ(num_components(g), 4);
+  EXPECT_FALSE(g.has_edge(0, 5));  // across cliques
+  EXPECT_TRUE(g.has_edge(5, 9));   // within a clique
+}
+
+TEST(Generators, Grid) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 4 * 2);  // horizontal + vertical
+  EXPECT_LE(g.max_degree(), 4);
+}
+
+TEST(Generators, TorusIsFourRegular) {
+  const Graph g = gen::torus(4, 5);
+  for (Vertex u = 0; u < g.num_vertices(); ++u) EXPECT_EQ(g.degree(u), 4);
+  EXPECT_EQ(g.num_edges(), 2 * 20);
+}
+
+TEST(Generators, Hypercube) {
+  const Graph g = gen::hypercube(4);
+  EXPECT_EQ(g.num_vertices(), 16);
+  EXPECT_EQ(g.num_edges(), 32);
+  for (Vertex u = 0; u < 16; ++u) EXPECT_EQ(g.degree(u), 4);
+  EXPECT_EQ(diameter(g).value(), 4);
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = gen::binary_tree(15);
+  EXPECT_TRUE(is_tree(g));
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_LE(g.max_degree(), 3);
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(5, 3);
+  EXPECT_EQ(g.num_vertices(), 5 + 15);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, Barbell) {
+  const Graph g = gen::barbell(6);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 2 * 15 + 1);
+  EXPECT_EQ(num_components(g), 1);
+}
+
+TEST(Generators, GnpExtremes) {
+  EXPECT_EQ(gen::gnp(50, 0.0, 1).num_edges(), 0);
+  EXPECT_EQ(gen::gnp(50, 1.0, 1).num_edges(), 50 * 49 / 2);
+}
+
+TEST(Generators, GnpEdgeCountNearExpectation) {
+  // n=400, p=0.1: mean ~7980, sd ~85; allow 6 sigma.
+  const Graph g = gen::gnp(400, 0.1, 12345);
+  const double expected = 0.1 * 400 * 399 / 2.0;
+  const double sigma = std::sqrt(expected * 0.9);
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), expected, 6 * sigma);
+}
+
+TEST(Generators, GnpDeterministicPerSeed) {
+  EXPECT_EQ(gen::gnp(100, 0.05, 7), gen::gnp(100, 0.05, 7));
+  EXPECT_FALSE(gen::gnp(100, 0.05, 7) == gen::gnp(100, 0.05, 8));
+}
+
+TEST(Generators, GnpRejectsBadP) {
+  EXPECT_THROW(gen::gnp(10, -0.1, 1), std::invalid_argument);
+  EXPECT_THROW(gen::gnp(10, 1.1, 1), std::invalid_argument);
+}
+
+TEST(Generators, GnmExactEdgeCount) {
+  const Graph g = gen::gnm(60, 140, 3);
+  EXPECT_EQ(g.num_vertices(), 60);
+  EXPECT_EQ(g.num_edges(), 140);
+}
+
+TEST(Generators, GnmFullRange) {
+  EXPECT_EQ(gen::gnm(5, 10, 1).num_edges(), 10);  // complete
+  EXPECT_EQ(gen::gnm(5, 0, 1).num_edges(), 0);
+  EXPECT_THROW(gen::gnm(5, 11, 1), std::invalid_argument);
+}
+
+TEST(Generators, RandomTreeIsTree) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Graph g = gen::random_tree(100, seed);
+    EXPECT_TRUE(is_tree(g)) << "seed " << seed;
+  }
+}
+
+TEST(Generators, RandomTreeSmall) {
+  EXPECT_EQ(gen::random_tree(0, 1).num_vertices(), 0);
+  EXPECT_EQ(gen::random_tree(1, 1).num_edges(), 0);
+  EXPECT_EQ(gen::random_tree(2, 1).num_edges(), 1);
+  EXPECT_TRUE(is_tree(gen::random_tree(3, 1)));
+}
+
+TEST(Generators, RandomRecursiveTreeIsTree) {
+  const Graph g = gen::random_recursive_tree(200, 9);
+  EXPECT_TRUE(is_tree(g));
+}
+
+TEST(Generators, ForestUnionArboricityBounded) {
+  const Graph g = gen::forest_union(150, 3, 11);
+  EXPECT_LE(g.num_edges(), 3 * 149);
+  // Degeneracy-based arboricity upper bound should be small.
+  EXPECT_LE(arboricity_bounds(g).upper, 6);
+}
+
+TEST(Generators, RandomRegularDegreesAtMostD) {
+  const Graph g = gen::random_regular(100, 6, 21);
+  EXPECT_LE(g.max_degree(), 6);
+  // Configuration model drops few edges: average degree close to d.
+  EXPECT_GT(g.average_degree(), 5.0);
+}
+
+TEST(Generators, RandomRegularOddProductThrows) {
+  EXPECT_THROW(gen::random_regular(5, 3, 1), std::invalid_argument);
+}
+
+TEST(Generators, RandomGeometricSymmetricAndDeterministic) {
+  const Graph a = gen::random_geometric(200, 0.1, 5);
+  const Graph b = gen::random_geometric(200, 0.1, 5);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Generators, RandomGeometricRadiusMonotone) {
+  const Graph small = gen::random_geometric(300, 0.05, 5);
+  const Graph large = gen::random_geometric(300, 0.15, 5);
+  EXPECT_LT(small.num_edges(), large.num_edges());
+}
+
+TEST(Generators, RandomGeometricExtremes) {
+  EXPECT_EQ(gen::random_geometric(50, 0.0, 1).num_edges(), 0);
+  const Graph g = gen::random_geometric(50, 2.0, 1);  // radius covers unit square
+  EXPECT_EQ(g.num_edges(), 50 * 49 / 2);
+}
+
+TEST(Generators, SmallWorldBasic) {
+  const Graph g = gen::small_world(100, 3, 0.1, 2);
+  EXPECT_EQ(g.num_vertices(), 100);
+  // Ring lattice has 3n edges; rewiring preserves the count approximately
+  // (rare rewire failures may drop a few).
+  EXPECT_GE(g.num_edges(), 290);
+  EXPECT_LE(g.num_edges(), 300);
+}
+
+TEST(Generators, SmallWorldBetaZeroIsRingLattice) {
+  const Graph g = gen::small_world(20, 2, 0.0, 3);
+  for (Vertex u = 0; u < 20; ++u) EXPECT_EQ(g.degree(u), 4);
+}
+
+}  // namespace
+}  // namespace ssmis

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/builder.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+
+namespace ssmis {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 0.0);
+}
+
+TEST(Graph, FromEdgesBasic) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(g.num_vertices(), 4);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, DuplicateEdgesCollapse) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 0}, {0, 1}, {1, 2}});
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  const Graph g = Graph::from_edges(3, {{0, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, NeighborsSortedAndDeduplicated) {
+  const Graph g = Graph::from_edges(5, {{2, 4}, {2, 0}, {2, 3}, {2, 1}, {4, 2}});
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  const Graph g = Graph::from_edges(6, {{0, 1}, {2, 5}, {3, 4}, {1, 5}});
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    for (Vertex v : g.neighbors(u)) {
+      EXPECT_TRUE(g.has_edge(v, u)) << u << "-" << v;
+    }
+  }
+}
+
+TEST(Graph, OutOfRangeEdgeThrows) {
+  EXPECT_THROW(Graph::from_edges(3, {{0, 3}}), std::invalid_argument);
+  EXPECT_THROW(Graph::from_edges(3, {{-1, 0}}), std::invalid_argument);
+}
+
+TEST(Graph, EdgeListRoundTrip) {
+  const std::vector<Edge> edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  const Graph g = Graph::from_edges(4, edges);
+  EXPECT_EQ(g.edge_list(), edges);
+}
+
+TEST(Graph, EqualityOperator) {
+  const Graph a = Graph::from_edges(3, {{0, 1}});
+  const Graph b = Graph::from_edges(3, {{1, 0}});
+  const Graph c = Graph::from_edges(3, {{0, 2}});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Graph, AverageDegree) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}});
+  const std::string s = g.summary();
+  EXPECT_NE(s.find("n=4"), std::string::npos);
+  EXPECT_NE(s.find("m=2"), std::string::npos);
+}
+
+TEST(GraphBuilder, NegativeSizeThrows) {
+  EXPECT_THROW(GraphBuilder(-1), std::invalid_argument);
+}
+
+TEST(GraphBuilder, NonDestructiveBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.num_edges(), 1);
+  EXPECT_EQ(g2.num_edges(), 2);
+}
+
+TEST(GraphBuilder, RecordsEdgeCountBeforeDedup) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  EXPECT_EQ(b.num_recorded_edges(), 2u);
+  EXPECT_EQ(std::move(b).build().num_edges(), 1);
+}
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  const Graph back = io::from_edge_list_string(io::to_edge_list_string(g));
+  EXPECT_EQ(g, back);
+}
+
+TEST(GraphIo, CommentsAndBlankLinesSkipped) {
+  const Graph g = io::from_edge_list_string("# header comment\n3 1\n\n# mid\n0 2\n");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(GraphIo, MalformedHeaderThrows) {
+  EXPECT_THROW(io::from_edge_list_string("x y\n"), std::runtime_error);
+  EXPECT_THROW(io::from_edge_list_string(""), std::runtime_error);
+}
+
+TEST(GraphIo, EdgeCountMismatchThrows) {
+  EXPECT_THROW(io::from_edge_list_string("3 2\n0 1\n"), std::runtime_error);
+}
+
+TEST(GraphIo, DotContainsHighlights) {
+  const Graph g = Graph::from_edges(3, {{0, 1}, {1, 2}});
+  std::ostringstream oss;
+  io::write_dot(oss, g, {1});
+  const std::string dot = oss.str();
+  EXPECT_NE(dot.find("graph G"), std::string::npos);
+  EXPECT_NE(dot.find("0 -- 1"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=black"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ssmis

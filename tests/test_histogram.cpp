@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hpp"
+
+namespace ssmis {
+namespace {
+
+TEST(Histogram, BinsPartitionRange) {
+  const std::vector<double> v = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto bins = build_histogram(v, 5);
+  ASSERT_EQ(bins.size(), 5u);
+  int total = 0;
+  for (const auto& bin : bins) total += bin.count;
+  EXPECT_EQ(total, 10);
+  EXPECT_DOUBLE_EQ(bins.front().low, 0.0);
+  EXPECT_DOUBLE_EQ(bins.back().high, 9.0);
+  for (std::size_t i = 1; i < bins.size(); ++i)
+    EXPECT_DOUBLE_EQ(bins[i].low, bins[i - 1].high);
+}
+
+TEST(Histogram, AllEqualValues) {
+  const auto bins = build_histogram({3.0, 3.0, 3.0}, 4);
+  int total = 0;
+  for (const auto& bin : bins) total += bin.count;
+  EXPECT_EQ(total, 3);
+}
+
+TEST(Histogram, EmptyInput) {
+  EXPECT_TRUE(build_histogram({}, 3).empty());
+}
+
+TEST(Histogram, InvalidBinsThrows) {
+  EXPECT_THROW(build_histogram({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Histogram, MaxValueLandsInLastBin) {
+  const auto bins = build_histogram({0.0, 10.0}, 2);
+  EXPECT_EQ(bins.front().count, 1);
+  EXPECT_EQ(bins.back().count, 1);
+}
+
+TEST(Histogram, RenderShowsBars) {
+  const auto bins = build_histogram({1, 1, 1, 1, 5}, 2);
+  const std::string out = render_histogram(bins, 20);
+  EXPECT_NE(out.find("####"), std::string::npos);
+  EXPECT_NE(out.find('\n'), std::string::npos);
+}
+
+TEST(Histogram, RenderEmptyIsEmpty) {
+  EXPECT_EQ(render_histogram({}, 10), "");
+}
+
+TEST(Sparkline, UsesFullGlyphRange) {
+  const std::string s = sparkline({0, 1, 2, 3, 4, 5, 6, 7});
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.front(), '.');
+  EXPECT_EQ(s.back(), '%');
+}
+
+TEST(Sparkline, ConstantSeriesIsFlat) {
+  const std::string s = sparkline({2, 2, 2});
+  EXPECT_EQ(s, "...");
+}
+
+TEST(Sparkline, EmptySeries) {
+  EXPECT_EQ(sparkline({}), "");
+}
+
+TEST(Downsample, PreservesPeaks) {
+  std::vector<double> series(100, 1.0);
+  series[57] = 50.0;
+  const auto down = downsample_max(series, 10);
+  ASSERT_EQ(down.size(), 10u);
+  bool saw_peak = false;
+  for (double v : down)
+    if (v == 50.0) saw_peak = true;
+  EXPECT_TRUE(saw_peak);
+}
+
+TEST(Downsample, ShortSeriesPassedThrough) {
+  const std::vector<double> series = {1, 2, 3};
+  EXPECT_EQ(downsample_max(series, 10), series);
+}
+
+TEST(Downsample, ZeroPointsThrows) {
+  EXPECT_THROW(downsample_max({1.0}, 0), std::invalid_argument);
+}
+
+TEST(Downsample, ExactChunking) {
+  const std::vector<double> series = {1, 9, 2, 8, 3, 7};
+  const auto down = downsample_max(series, 3);
+  EXPECT_EQ(down, (std::vector<double>{9, 8, 7}));
+}
+
+}  // namespace
+}  // namespace ssmis

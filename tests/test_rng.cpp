@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "rng/coin_oracle.hpp"
+#include "rng/splitmix64.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace ssmis {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 from the SplitMix64 reference implementation.
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(sm.next(), 0x6e789e6aa1b965f4ULL);
+  EXPECT_EQ(sm.next(), 0x06c45d188009454fULL);
+}
+
+TEST(SplitMix64, MixIsDeterministic) {
+  EXPECT_EQ(splitmix64_mix(42), splitmix64_mix(42));
+  EXPECT_NE(splitmix64_mix(42), splitmix64_mix(43));
+}
+
+TEST(Xoshiro256, DeterministicPerSeed) {
+  Xoshiro256 a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = a.next();
+    EXPECT_EQ(x, b.next());
+    EXPECT_NE(x, c.next());  // astronomically unlikely to collide repeatedly
+  }
+}
+
+TEST(Xoshiro256, NextBelowRespectsBound) {
+  Xoshiro256 rng(123);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, NextBelowZeroBound) {
+  Xoshiro256 rng(123);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Xoshiro256, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformityCoarse) {
+  // 10 bins, 100k draws: each bin within 10% of expectation.
+  Xoshiro256 rng(99);
+  std::vector<int> bins(10, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i)
+    ++bins[static_cast<std::size_t>(rng.next_double() * 10.0)];
+  for (int count : bins) {
+    EXPECT_NEAR(count, draws / 10, draws / 100);
+  }
+}
+
+TEST(CoinOracle, PureFunctionOfInputs) {
+  const CoinOracle a(42), b(42), c(43);
+  EXPECT_EQ(a.word(3, 7, CoinTag::kMisColor), b.word(3, 7, CoinTag::kMisColor));
+  EXPECT_NE(a.word(3, 7, CoinTag::kMisColor), c.word(3, 7, CoinTag::kMisColor));
+}
+
+TEST(CoinOracle, DimensionsAreIndependent) {
+  const CoinOracle coins(1);
+  // Changing any single coordinate changes the word.
+  const auto base = coins.word(5, 9, CoinTag::kMisColor);
+  EXPECT_NE(base, coins.word(6, 9, CoinTag::kMisColor));
+  EXPECT_NE(base, coins.word(5, 10, CoinTag::kMisColor));
+  EXPECT_NE(base, coins.word(5, 9, CoinTag::kSwitchBit));
+}
+
+TEST(CoinOracle, NoObviousCounterAliasing) {
+  // (round, vertex) pairs along a diagonal must not collide: hash 1000
+  // nearby counters and expect all distinct words.
+  const CoinOracle coins(17);
+  std::set<std::uint64_t> words;
+  for (int t = 0; t < 50; ++t)
+    for (std::int32_t u = 0; u < 20; ++u)
+      words.insert(coins.word(t, u, CoinTag::kMisColor));
+  EXPECT_EQ(words.size(), 1000u);
+}
+
+TEST(CoinOracle, FairCoinIsRoughlyFair) {
+  const CoinOracle coins(2024);
+  int heads = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i)
+    if (coins.fair_coin(i, i % 97)) ++heads;
+  EXPECT_NEAR(heads, draws / 2, 4 * std::sqrt(draws));  // ~4 sigma
+}
+
+TEST(CoinOracle, DyadicBernoulliMatchesProbability) {
+  // zeta = 1/128, 200k draws: expect ~1562 +- 5 sigma.
+  const CoinOracle coins(7);
+  int hits = 0;
+  const int draws = 200000;
+  for (int i = 0; i < draws; ++i)
+    if (coins.dyadic_bernoulli(i, 3, CoinTag::kSwitchBit, 1, 7)) ++hits;
+  const double expect = draws / 128.0;
+  EXPECT_NEAR(hits, expect, 5 * std::sqrt(expect));
+}
+
+TEST(CoinOracle, DyadicBernoulliExtremes) {
+  const CoinOracle coins(7);
+  // num = 2^den - 1 is probability ~1 - 2^-den: nearly always true.
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (coins.dyadic_bernoulli(i, 0, CoinTag::kSwitchBit, 127, 7)) ++hits;
+  EXPECT_GT(hits, 980);
+}
+
+TEST(CoinOracle, BernoulliDoubleProbability) {
+  const CoinOracle coins(3);
+  int hits = 0;
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i)
+    if (coins.bernoulli(i, 1, CoinTag::kFault, 0.3)) ++hits;
+  EXPECT_NEAR(hits, 30000, 5 * std::sqrt(30000.0));
+}
+
+TEST(CoinOracle, BernoulliEdgeProbabilities) {
+  const CoinOracle coins(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(coins.bernoulli(i, 0, CoinTag::kFault, 0.0));
+    EXPECT_TRUE(coins.bernoulli(i, 0, CoinTag::kFault, 1.0));
+  }
+}
+
+TEST(CoinOracle, UniformInUnitInterval) {
+  const CoinOracle coins(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = coins.uniform(i, 5, CoinTag::kLuby);
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(CoinOracle, NegativeRoundsSupported) {
+  // Fault injection and init streams use negative rounds; they must be
+  // deterministic and distinct from positive rounds.
+  const CoinOracle coins(9);
+  EXPECT_EQ(coins.word(-5, 2, CoinTag::kFault), coins.word(-5, 2, CoinTag::kFault));
+  EXPECT_NE(coins.word(-5, 2, CoinTag::kFault), coins.word(5, 2, CoinTag::kFault));
+}
+
+}  // namespace
+}  // namespace ssmis

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/init.hpp"
+#include "core/sequential.hpp"
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace ssmis {
+namespace {
+
+std::vector<Color2> colors_of(const char* pattern, Vertex n) {
+  std::vector<Color2> out(static_cast<std::size_t>(n));
+  for (Vertex u = 0; u < n; ++u)
+    out[static_cast<std::size_t>(u)] = pattern[u] == 'b' ? Color2::kBlack : Color2::kWhite;
+  return out;
+}
+
+TEST(Sequential, MoveRequiresEnabled) {
+  const Graph g = gen::path(3);
+  SequentialMIS p(g, colors_of("bwb", 3));  // an MIS: nothing enabled
+  EXPECT_THROW(p.move(0), std::logic_error);
+}
+
+TEST(Sequential, MoveFlipsDeterministically) {
+  const Graph g = gen::path(2);
+  SequentialMIS p(g, colors_of("bb", 2));
+  EXPECT_EQ(p.move(0), Color2::kWhite);  // black with black neighbor -> white
+  EXPECT_FALSE(p.enabled(0));            // white with black neighbor: settled
+  EXPECT_FALSE(p.enabled(1));            // black with no black neighbor: stable
+  EXPECT_TRUE(p.stabilized());
+}
+
+TEST(Sequential, EnabledMatchesActivePredicate) {
+  const Graph g = gen::path(4);
+  const SequentialMIS p(g, colors_of("bbww", 4));
+  EXPECT_TRUE(p.enabled(0));
+  EXPECT_TRUE(p.enabled(1));
+  EXPECT_FALSE(p.enabled(2));
+  EXPECT_TRUE(p.enabled(3));
+}
+
+TEST(Sequential, AtMostTwoMovesPerVertexAllSchedulers) {
+  // The classical invariant: under ANY central daemon, each vertex moves at
+  // most twice and the result is an MIS.
+  const std::vector<Graph> graphs = {
+      gen::complete(20),       gen::path(50),        gen::cycle(33),
+      gen::star(25),           gen::gnp(80, 0.1, 5), gen::random_tree(60, 6),
+      gen::grid(7, 8),         gen::disjoint_cliques(4, 8),
+  };
+  for (const Graph& g : graphs) {
+    for (InitPattern pattern : all_init_patterns()) {
+      const CoinOracle coins(3);
+      std::vector<std::unique_ptr<Scheduler>> schedulers;
+      schedulers.push_back(std::make_unique<RoundRobinScheduler>());
+      schedulers.push_back(std::make_unique<RandomScheduler>(7));
+      schedulers.push_back(std::make_unique<MaxDegreeScheduler>(g));
+      schedulers.push_back(std::make_unique<LowestIdScheduler>());
+      for (auto& sched : schedulers) {
+        SequentialMIS p(g, make_init2(g, pattern, coins));
+        const auto result = p.run(*sched, 4 * g.num_vertices() + 10);
+        ASSERT_TRUE(result.stabilized)
+            << g.summary() << " " << sched->name() << " " << to_string(pattern);
+        EXPECT_LE(result.max_moves_per_vertex, 2)
+            << g.summary() << " " << sched->name();
+        EXPECT_LE(result.total_moves, 2 * g.num_vertices());
+        EXPECT_TRUE(is_mis(g, p.black_set()));
+      }
+    }
+  }
+}
+
+TEST(Sequential, StabilizedImmediatelyOnMis) {
+  const Graph g = gen::path(4);
+  SequentialMIS p(g, colors_of("bwbw", 4));
+  RoundRobinScheduler sched;
+  const auto result = p.run(sched, 100);
+  EXPECT_TRUE(result.stabilized);
+  EXPECT_EQ(result.total_moves, 0);
+}
+
+TEST(Sequential, DeterministicParallelLivelocksOnK2) {
+  // Both-black K_2 under the synchronous *deterministic* rule oscillates
+  // forever: bb -> ww -> bb -> ... This is the livelock randomization fixes.
+  const Graph g = gen::complete(2);
+  SequentialMIS p(g, colors_of("bb", 2));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(p.step_parallel_deterministic(), 2);
+    const bool all_white = !p.black(0) && !p.black(1);
+    const bool all_black = p.black(0) && p.black(1);
+    EXPECT_TRUE(all_white || all_black);
+  }
+  EXPECT_FALSE(p.enabled_set().empty());  // still livelocked
+}
+
+TEST(Sequential, DeterministicParallelLivelocksOnEvenCycleAllBlack) {
+  const Graph g = gen::cycle(6);
+  SequentialMIS p(g, colors_of("bbbbbb", 6));
+  for (int i = 0; i < 20; ++i) p.step_parallel_deterministic();
+  EXPECT_FALSE(p.enabled_set().empty());
+}
+
+TEST(Sequential, RoundRobinCursorWraps) {
+  const Graph g = Graph::from_edges(3, {});  // all isolated, all enabled (white)
+  SequentialMIS p(g, colors_of("www", 3));
+  RoundRobinScheduler sched;
+  EXPECT_EQ(p.move(sched.pick(p.enabled_set(), 0)), Color2::kBlack);
+  EXPECT_EQ(sched.pick(p.enabled_set(), 1), 1);
+  EXPECT_EQ(p.move(1), Color2::kBlack);
+  EXPECT_EQ(sched.pick(p.enabled_set(), 2), 2);
+}
+
+TEST(Sequential, MaxDegreeSchedulerPicksHub) {
+  const Graph g = gen::star(5);
+  SequentialMIS p(g, colors_of("bbbbb", 5));
+  MaxDegreeScheduler sched(g);
+  EXPECT_EQ(sched.pick(p.enabled_set(), 0), 0);  // the hub
+}
+
+TEST(Sequential, MovesOfTracksPerVertex) {
+  const Graph g = gen::complete(2);
+  SequentialMIS p(g, colors_of("bb", 2));
+  p.move(0);
+  EXPECT_EQ(p.moves_of(0), 1);
+  EXPECT_EQ(p.moves_of(1), 0);
+}
+
+TEST(Sequential, InitSizeMismatchThrows) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(SequentialMIS(g, colors_of("bw", 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssmis

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/cli.hpp"
+#include "support/csv.hpp"
+#include "support/table.hpp"
+
+namespace ssmis {
+namespace {
+
+CliArgs parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsForm) {
+  const auto args = parse({"--n=128", "--p=0.5", "--name=clique"});
+  EXPECT_EQ(args.get_int("n", 0), 128);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.0), 0.5);
+  EXPECT_EQ(args.get_string("name", ""), "clique");
+}
+
+TEST(Cli, SpaceForm) {
+  const auto args = parse({"--n", "64", "--label", "x"});
+  EXPECT_EQ(args.get_int("n", 0), 64);
+  EXPECT_EQ(args.get_string("label", ""), "x");
+}
+
+TEST(Cli, BooleanFlag) {
+  const auto args = parse({"--verbose", "--csv=false"});
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_FALSE(args.get_bool("csv", true));
+  EXPECT_FALSE(args.get_bool("absent"));
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const auto args = parse({});
+  EXPECT_EQ(args.get_int("n", 42), 42);
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.25), 0.25);
+  EXPECT_EQ(args.get_string("s", "dflt"), "dflt");
+}
+
+TEST(Cli, MalformedIntRecordsError) {
+  const auto args = parse({"--n=abc"});
+  EXPECT_EQ(args.get_int("n", 7), 7);
+  EXPECT_FALSE(args.errors().empty());
+}
+
+TEST(Cli, MalformedDoubleRecordsError) {
+  const auto args = parse({"--p=zz"});
+  EXPECT_DOUBLE_EQ(args.get_double("p", 0.5), 0.5);
+  EXPECT_FALSE(args.errors().empty());
+}
+
+TEST(Cli, PositionalArguments) {
+  const auto args = parse({"first", "--n=1", "second"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(Cli, HasDetectsPresence) {
+  const auto args = parse({"--x=1"});
+  EXPECT_TRUE(args.has("x"));
+  EXPECT_FALSE(args.has("y"));
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer-name", "22"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All lines (other than separator) should have equal-or-consistent width.
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(Table, CellHelpers) {
+  TextTable t({"a", "b", "c"});
+  t.begin_row();
+  t.add_cell(static_cast<std::int64_t>(7));
+  t.add_cell(3.14159, 3);
+  t.add_cell("x");
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("7"), std::string::npos);
+  EXPECT_NE(out.find("3.142"), std::string::npos);
+}
+
+TEST(Table, RaggedRowsPadded) {
+  TextTable t({"a", "b"});
+  t.add_row({"only-one"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 2), "1.00");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+}
+
+TEST(Csv, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+  EXPECT_EQ(CsvWriter::escape("nl\n"), "\"nl\n\"");
+}
+
+TEST(Csv, WritesRows) {
+  std::ostringstream oss;
+  CsvWriter csv(oss);
+  csv.write_row({"h1", "h2"});
+  csv.write_row({"1", "a,b"});
+  EXPECT_EQ(oss.str(), "h1,h2\n1,\"a,b\"\n");
+}
+
+}  // namespace
+}  // namespace ssmis

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/verify.hpp"
+#include "graph/generators.hpp"
+
+namespace ssmis {
+namespace {
+
+TEST(Verify, IndependenceBasic) {
+  const Graph g = gen::path(4);  // 0-1-2-3
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{0, 2}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{0, 3}));
+  EXPECT_FALSE(is_independent_set(g, std::vector<Vertex>{0, 1}));
+  EXPECT_TRUE(is_independent_set(g, std::vector<Vertex>{}));
+}
+
+TEST(Verify, MaximalityBasic) {
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(is_maximal(g, std::vector<Vertex>{0, 2}));
+  EXPECT_TRUE(is_maximal(g, std::vector<Vertex>{1, 3}));
+  EXPECT_FALSE(is_maximal(g, std::vector<Vertex>{0}));  // 2, 3 uncovered
+  EXPECT_FALSE(is_maximal(g, std::vector<Vertex>{}));
+}
+
+TEST(Verify, MisOnPath) {
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(is_mis(g, std::vector<Vertex>{0, 2}));
+  EXPECT_TRUE(is_mis(g, std::vector<Vertex>{1, 3}));
+  EXPECT_TRUE(is_mis(g, std::vector<Vertex>{0, 3}));
+  EXPECT_FALSE(is_mis(g, std::vector<Vertex>{0, 1, 3}));
+  EXPECT_FALSE(is_mis(g, std::vector<Vertex>{0}));
+}
+
+TEST(Verify, MisOnClique) {
+  const Graph g = gen::complete(5);
+  for (Vertex u = 0; u < 5; ++u)
+    EXPECT_TRUE(is_mis(g, std::vector<Vertex>{u}));
+  EXPECT_FALSE(is_mis(g, std::vector<Vertex>{0, 1}));
+  EXPECT_FALSE(is_mis(g, std::vector<Vertex>{}));
+}
+
+TEST(Verify, EmptyGraphEmptySetIsMis) {
+  const Graph g = Graph::from_edges(0, {});
+  EXPECT_TRUE(is_mis(g, std::vector<Vertex>{}));
+}
+
+TEST(Verify, IsolatedVerticesMustAllBeMembers) {
+  const Graph g = Graph::from_edges(3, {});
+  EXPECT_TRUE(is_mis(g, std::vector<Vertex>{0, 1, 2}));
+  EXPECT_FALSE(is_mis(g, std::vector<Vertex>{0, 1}));
+}
+
+TEST(Verify, MaskSizeMismatchThrows) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(is_independent_set(g, std::vector<char>{1, 0}), std::invalid_argument);
+  EXPECT_THROW(is_maximal(g, std::vector<char>{1, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Verify, MemberOutOfRangeThrows) {
+  const Graph g = gen::path(3);
+  EXPECT_THROW(is_mis(g, std::vector<Vertex>{5}), std::out_of_range);
+}
+
+TEST(Verify, FindViolationDescribesIndependence) {
+  const Graph g = gen::path(3);
+  const auto v = find_mis_violation(g, members_to_mask(3, {0, 1}));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("independence"), std::string::npos);
+}
+
+TEST(Verify, FindViolationDescribesMaximality) {
+  const Graph g = gen::path(3);
+  const auto v = find_mis_violation(g, members_to_mask(3, {0}));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->find("maximality"), std::string::npos);
+}
+
+TEST(Verify, FindViolationNulloptForMis) {
+  const Graph g = gen::path(3);
+  EXPECT_FALSE(find_mis_violation(g, members_to_mask(3, {1})).has_value());
+}
+
+TEST(Verify, GreedyMisIsAlwaysMis) {
+  const std::vector<Graph> graphs = {
+      gen::complete(10),          gen::path(17),
+      gen::cycle(12),             gen::star(9),
+      gen::gnp(100, 0.1, 1),      gen::random_tree(64, 2),
+      gen::grid(6, 7),            gen::disjoint_cliques(4, 6),
+      Graph::from_edges(5, {}),
+  };
+  for (const Graph& g : graphs) {
+    EXPECT_TRUE(is_mis(g, greedy_mis(g))) << g.summary();
+  }
+}
+
+TEST(Verify, GreedyMisOnCliqueIsSingleton) {
+  EXPECT_EQ(greedy_mis(gen::complete(7)).size(), 1u);
+}
+
+TEST(Verify, GreedyMisOnStarIsHubOrLeaves) {
+  // Greedy from vertex 0 (the hub) picks the hub only.
+  EXPECT_EQ(greedy_mis(gen::star(10)), (std::vector<Vertex>{0}));
+}
+
+}  // namespace
+}  // namespace ssmis
