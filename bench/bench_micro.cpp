@@ -1,13 +1,31 @@
-// M1: micro-benchmarks of the simulation substrate (google-benchmark).
-// Measures per-round step cost of each process, generator throughput, and
-// verifier cost — the numbers that bound how large the reproduction sweeps
-// can go.
+// M1: micro-benchmarks of the simulation substrate.
+//
+// Two modes:
+//   * default: google-benchmark micro-benchmarks (step cost of each process,
+//     generator throughput, verifier cost) — the numbers that bound how
+//     large the reproduction sweeps can go.
+//   * --engine-json[=path]: emits the machine-readable engine cost table
+//     BENCH_engine.json — ns/round for every engine-backed process on
+//     sparse/dense G(n,p) with tracing on and off, plus near-stabilized
+//     stepping at two sizes. Future PRs diff this file to track the perf
+//     trajectory; the near-stabilized rows are the active-set scheduling
+//     receipt (per-round cost tracks |A_t|, not n, so the 2-state rows stay
+//     flat as n quadruples).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
 #include "core/init.hpp"
+#include "core/runner.hpp"
 #include "core/three_color.hpp"
 #include "core/three_state.hpp"
 #include "core/two_state.hpp"
+#include "core/two_state_variant.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
 #include "rng/coin_oracle.hpp"
@@ -79,6 +97,21 @@ void BM_ThreeColorStepDense(benchmark::State& state) {
 }
 BENCHMARK(BM_ThreeColorStepDense);
 
+// Stepping a stabilized process with per-round tracing: the active set is
+// empty, so the engine does O(1) work per round regardless of n.
+void BM_TwoStateStabilizedTracedStep(benchmark::State& state) {
+  const Graph g = gen::gnp(static_cast<Vertex>(state.range(0)),
+                           8.0 / static_cast<double>(state.range(0)), 7);
+  const CoinOracle coins(1);
+  TwoStateMIS p(g, make_init2(g, InitPattern::kUniformRandom, coins), coins);
+  run_until_stabilized(p, 1000000);
+  for (auto _ : state) {
+    p.step();
+    benchmark::DoNotOptimize(snapshot(p));
+  }
+}
+BENCHMARK(BM_TwoStateStabilizedTracedStep)->Arg(16384)->Arg(65536);
+
 void BM_FullRunClique(benchmark::State& state) {
   const Graph& g = clique_graph();
   std::uint64_t seed = 1;
@@ -129,5 +162,188 @@ void BM_CoinOracleWord(benchmark::State& state) {
 }
 BENCHMARK(BM_CoinOracleWord);
 
+// --------------------------------------------------------------------------
+// BENCH_engine.json: machine-readable engine cost table.
+// --------------------------------------------------------------------------
+
+struct EngineBenchRow {
+  std::string process;
+  std::string graph;
+  std::string phase;  // "full_run" or "stabilized_step"
+  Vertex n = 0;
+  std::int64_t m = 0;
+  bool trace = false;
+  std::int64_t rounds = 0;
+  double ns_per_round = 0.0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ns(Clock::time_point start) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - start)
+          .count());
+}
+
+// Times run_until_stabilized from a uniform-random start.
+template <typename MakeProcess>
+EngineBenchRow full_run_row(const std::string& process, const std::string& gname,
+                            const Graph& g, MakeProcess make, TraceMode mode) {
+  auto p = make();
+  const auto start = Clock::now();
+  const RunResult r = run_until_stabilized(p, 200000, mode);
+  const double ns = elapsed_ns(start);
+  EngineBenchRow row;
+  row.process = process;
+  row.graph = gname;
+  row.phase = "full_run";
+  row.n = g.num_vertices();
+  row.m = g.num_edges();
+  row.trace = mode == TraceMode::kPerRound;
+  row.rounds = r.rounds > 0 ? r.rounds : 1;
+  row.ns_per_round = ns / static_cast<double>(row.rounds);
+  return row;
+}
+
+// Times traced stepping of an already-stabilized process: the per-round cost
+// is driven by the (empty or tiny) active set, not by n.
+template <typename MakeProcess>
+EngineBenchRow stabilized_row(const std::string& process, const std::string& gname,
+                              const Graph& g, MakeProcess make, std::int64_t reps) {
+  auto p = make();
+  run_until_stabilized(p, 1000000);
+  std::int64_t checksum = 0;
+  const auto start = Clock::now();
+  for (std::int64_t i = 0; i < reps; ++i) {
+    p.step();
+    const RoundStats s = snapshot(p);
+    checksum += s.black + s.active;
+  }
+  benchmark::DoNotOptimize(checksum);  // keep the timed loop observable
+  const double ns = elapsed_ns(start);
+  EngineBenchRow row;
+  row.process = process;
+  row.graph = gname;
+  row.phase = "stabilized_step";
+  row.n = g.num_vertices();
+  row.m = g.num_edges();
+  row.trace = true;
+  row.rounds = reps;
+  row.ns_per_round = ns / static_cast<double>(reps);
+  return row;
+}
+
+void append_process_rows(std::vector<EngineBenchRow>& rows, const std::string& gname,
+                         const Graph& g) {
+  const CoinOracle coins(1);
+  for (TraceMode mode : {TraceMode::kNone, TraceMode::kPerRound}) {
+    rows.push_back(full_run_row("two_state", gname, g,
+                                [&] {
+                                  return TwoStateMIS(
+                                      g, make_init2(g, InitPattern::kUniformRandom, coins),
+                                      coins);
+                                },
+                                mode));
+    rows.push_back(full_run_row("two_state_variant", gname, g,
+                                [&] {
+                                  return TwoStateVariant(
+                                      g, make_init2(g, InitPattern::kUniformRandom, coins),
+                                      coins, 0.5, false);
+                                },
+                                mode));
+    rows.push_back(full_run_row("three_state", gname, g,
+                                [&] {
+                                  return ThreeStateMIS(
+                                      g, make_init3(g, InitPattern::kUniformRandom, coins),
+                                      coins);
+                                },
+                                mode));
+    rows.push_back(full_run_row("three_color", gname, g,
+                                [&] {
+                                  return ThreeColorMIS::with_randomized_switch(
+                                      g, make_init_g(g, InitPattern::kUniformRandom, coins),
+                                      coins);
+                                },
+                                mode));
+  }
+}
+
+void write_engine_json(const std::string& path) {
+  std::vector<EngineBenchRow> rows;
+  {
+    const Graph g = gen::gnp(4096, 0.002, 7);
+    append_process_rows(rows, "gnp_sparse_n4096_p0.002", g);
+  }
+  {
+    const Graph g = gen::gnp(1024, 0.25, 7);
+    append_process_rows(rows, "gnp_dense_n1024_p0.25", g);
+  }
+  // Active-set scaling receipt: traced stepping of a stabilized 2-state
+  // process must not grow with n (the worklist is empty); the 3-state rows
+  // scale with |MIS| by design (stable blacks keep re-randomizing).
+  for (Vertex n : {16384, 65536}) {
+    const Graph g = gen::gnp(n, 8.0 / static_cast<double>(n), 7);
+    const std::string gname = "gnp_avgdeg8_n" + std::to_string(n);
+    const CoinOracle coins(1);
+    rows.push_back(stabilized_row(
+        "two_state", gname, g,
+        [&] {
+          return TwoStateMIS(g, make_init2(g, InitPattern::kUniformRandom, coins),
+                             coins);
+        },
+        4000));
+    rows.push_back(stabilized_row(
+        "three_state", gname, g,
+        [&] {
+          return ThreeStateMIS(g, make_init3(g, InitPattern::kUniformRandom, coins),
+                               coins);
+        },
+        200));
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "bench_micro: cannot open " << path << " for writing\n";
+    std::exit(1);
+  }
+  out << "{\n";
+  out << "  \"schema\": \"ssmis-bench-engine-v1\",\n";
+  out << "  \"description\": \"per-round stepping cost of the unified sparse "
+         "process engine\",\n";
+  out << "  \"unit\": \"ns_per_round\",\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const EngineBenchRow& r = rows[i];
+    out << "    {\"process\": \"" << r.process << "\", \"graph\": \"" << r.graph
+        << "\", \"phase\": \"" << r.phase << "\", \"n\": " << r.n
+        << ", \"m\": " << r.m << ", \"trace\": " << (r.trace ? "true" : "false")
+        << ", \"rounds\": " << r.rounds
+        << ", \"ns_per_round\": " << r.ns_per_round << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::cout << "wrote " << rows.size() << " rows to " << path << "\n";
+}
+
 }  // namespace
 }  // namespace ssmis
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine-json") {
+      ssmis::write_engine_json("BENCH_engine.json");
+      return 0;
+    }
+    if (arg.rfind("--engine-json=", 0) == 0) {
+      ssmis::write_engine_json(arg.substr(std::string("--engine-json=").size()));
+      return 0;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -28,19 +28,9 @@ std::string RandomSubsetDaemon::name() const {
 
 DaemonMIS::DaemonMIS(const Graph& g, std::vector<Color2> init,
                      std::unique_ptr<ActivationDaemon> daemon, const CoinOracle& coins)
-    : graph_(&g), coins_(coins), daemon_(std::move(daemon)), colors_(std::move(init)) {
-  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("DaemonMIS: init size != num_vertices");
+    : engine_(g, std::move(init), TwoStateRule(coins)), daemon_(std::move(daemon)) {
   if (daemon_ == nullptr)
     throw std::invalid_argument("DaemonMIS: daemon must not be null");
-  black_nbr_.assign(colors_.size(), 0);
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    if (!black(u)) continue;
-    for (Vertex v : g.neighbors(u)) ++black_nbr_[static_cast<std::size_t>(v)];
-  }
-  num_enabled_ = 0;
-  for (Vertex u = 0; u < g.num_vertices(); ++u)
-    if (enabled(u)) ++num_enabled_;
 }
 
 Vertex DaemonMIS::step() {
@@ -52,41 +42,17 @@ Vertex DaemonMIS::step() {
   std::vector<Vertex> chosen = daemon_->activate(
       std::span<const Vertex>(enabled_now.data(), enabled_now.size()), steps_ + 1);
   if (chosen.empty()) chosen = enabled_now;  // liveness fallback
-  const std::int64_t t = steps_ + 1;
-  // All chosen vertices resample simultaneously against the frozen state.
-  std::vector<Vertex> flipped;
-  for (Vertex u : chosen) {
-    if (!enabled(u))
-      throw std::logic_error("DaemonMIS: daemon activated a non-enabled vertex");
-    const Color2 drawn = coins_.fair_coin(t, u) ? Color2::kBlack : Color2::kWhite;
-    if (drawn != colors_[static_cast<std::size_t>(u)]) flipped.push_back(u);
-  }
-  for (Vertex u : flipped) {
-    auto& c = colors_[static_cast<std::size_t>(u)];
-    const Vertex delta = (c == Color2::kWhite) ? 1 : -1;
-    c = (c == Color2::kWhite) ? Color2::kBlack : Color2::kWhite;
-    for (Vertex v : graph_->neighbors(u))
-      black_nbr_[static_cast<std::size_t>(v)] += delta;
-  }
+  // All chosen vertices resample simultaneously against the frozen state;
+  // the engine throws std::logic_error if the daemon activated a vertex that
+  // is not enabled.
+  engine_.apply_transitions(
+      std::span<const Vertex>(chosen.data(), chosen.size()), steps_ + 1);
   ++steps_;
-  num_enabled_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (enabled(u)) ++num_enabled_;
   return static_cast<Vertex>(chosen.size());
 }
 
 std::vector<Vertex> DaemonMIS::black_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (black(u)) out.push_back(u);
-  return out;
-}
-
-std::vector<Vertex> DaemonMIS::enabled_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (enabled(u)) out.push_back(u);
-  return out;
+  return engine_.select([this](Vertex u) { return black(u); });
 }
 
 std::int64_t DaemonMIS::run(std::int64_t max_steps) {

@@ -17,6 +17,11 @@
 //                           sibling pairs* (both endpoints of black-black
 //                           edges together), the schedule that maximizes
 //                           coordinated re-collisions.
+//
+// DaemonMIS drives the same ProcessEngine<TwoStateRule> as the synchronous
+// process, through the engine's subset-transition primitive: the enabled set
+// IS the engine's scheduled worklist, so enabled-set queries are O(|enabled|)
+// rather than O(n) scans.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +31,8 @@
 #include <vector>
 
 #include "core/color.hpp"
+#include "core/engine.hpp"
+#include "core/two_state.hpp"
 #include "graph/graph.hpp"
 #include "rng/coin_oracle.hpp"
 
@@ -94,6 +101,8 @@ class AdversarialPairDaemon final : public ActivationDaemon {
 // SynchronousDaemon run is bit-identical to the synchronous process.
 class DaemonMIS {
  public:
+  using Engine = ProcessEngine<TwoStateRule>;
+
   DaemonMIS(const Graph& g, std::vector<Color2> init,
             std::unique_ptr<ActivationDaemon> daemon, const CoinOracle& coins);
 
@@ -102,33 +111,25 @@ class DaemonMIS {
   Vertex step();
   std::int64_t steps() const { return steps_; }
 
-  const Graph& graph() const { return *graph_; }
-  const std::vector<Color2>& colors() const { return colors_; }
-  bool black(Vertex u) const {
-    return colors_[static_cast<std::size_t>(u)] == Color2::kBlack;
-  }
-  Vertex black_neighbor_count(Vertex u) const {
-    return black_nbr_[static_cast<std::size_t>(u)];
-  }
-  bool enabled(Vertex u) const {
-    return black(u) ? black_neighbor_count(u) > 0 : black_neighbor_count(u) == 0;
-  }
-  bool stabilized() const { return num_enabled_ == 0; }
-  Vertex num_enabled() const { return num_enabled_; }
+  const Graph& graph() const { return engine_.graph(); }
+  const std::vector<Color2>& colors() const { return engine_.colors(); }
+  bool black(Vertex u) const { return is_black(engine_.color(u)); }
+  Vertex black_neighbor_count(Vertex u) const { return engine_.counter(u, 0); }
+  bool enabled(Vertex u) const { return engine_.scheduled(u); }
+  bool stabilized() const { return engine_.stabilized(); }
+  Vertex num_enabled() const { return engine_.num_scheduled(); }
   std::vector<Vertex> black_set() const;
-  std::vector<Vertex> enabled_set() const;
+  std::vector<Vertex> enabled_set() const { return engine_.scheduled_set(); }
 
   // Runs until stabilized or `max_steps`; returns steps used.
   std::int64_t run(std::int64_t max_steps);
 
+  const Engine& engine() const { return engine_; }
+
  private:
-  const Graph* graph_;
-  CoinOracle coins_;
+  Engine engine_;
   std::unique_ptr<ActivationDaemon> daemon_;
-  std::vector<Color2> colors_;
-  std::vector<Vertex> black_nbr_;
   std::int64_t steps_ = 0;
-  Vertex num_enabled_ = 0;
 };
 
 }  // namespace ssmis

@@ -1,0 +1,35 @@
+#include "core/engine.hpp"
+
+#include <algorithm>
+
+namespace ssmis {
+
+void VertexWorklist::reset(Vertex n) {
+  items_.clear();
+  pos_.assign(static_cast<std::size_t>(n), -1);
+}
+
+void VertexWorklist::insert(Vertex u) {
+  Vertex& p = pos_[static_cast<std::size_t>(u)];
+  if (p >= 0) return;
+  p = static_cast<Vertex>(items_.size());
+  items_.push_back(u);
+}
+
+void VertexWorklist::erase(Vertex u) {
+  Vertex& p = pos_[static_cast<std::size_t>(u)];
+  if (p < 0) return;
+  const Vertex last = items_.back();
+  items_[static_cast<std::size_t>(p)] = last;
+  pos_[static_cast<std::size_t>(last)] = p;
+  items_.pop_back();
+  p = -1;
+}
+
+std::vector<Vertex> VertexWorklist::sorted() const {
+  std::vector<Vertex> out = items_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ssmis

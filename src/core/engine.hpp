@@ -1,0 +1,483 @@
+// Unified sparse process engine: active-set scheduling for every MIS
+// process and communication-model simulation in the library.
+//
+// The structural fact the engine exploits is Giakkoupis-Ziccardi's: only
+// *scheduled* vertices take a transition in a round, and whether a vertex is
+// scheduled depends solely on its own color and on incrementally maintained
+// neighbor counters — so scheduling can change only inside the closed
+// neighborhood N+(changed) of the vertices that changed color. A round
+// therefore costs
+//
+//     O(|A_t| + sum of deg(u) over vertices whose color class changed)
+//
+// instead of the O(n + m) dense rescan of the hand-rolled per-process loops,
+// and every aggregate the tracer wants (|B_t|, |A_t|, |I_t|, |V_t|,
+// |Gamma_t|) is maintained incrementally and read in O(1).
+//
+// The engine is policy-based: `ProcessEngine<Rule>` owns colors, counters,
+// the worklist, and the aggregates; the Rule supplies only the paper's
+// transition table and predicates (see `ProcessRule` below). The four direct
+// processes (2-state, 2-state variant, 3-state, 3-color), the daemon
+// adapter, and both communication-model network simulators are all thin
+// rules/wrappers over this one stepping core.
+//
+// Randomness: rules draw coins from the counter-based CoinOracle, where
+// every coin is a pure function of (seed, round, vertex, tag). Because no
+// sequential RNG stream exists, sparse scheduling is *bit-identical* to the
+// dense seed semantics: the same vertices take the same transitions with the
+// same coins, in any iteration order. The differential tests assert this
+// round-by-round against the naive transcriptions of Definitions 4, 5, 26
+// and 28.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace ssmis {
+
+// Sparse vertex set with O(1) insert / erase / contains and O(|set|)
+// unordered iteration. Backing store for the engine's active-set worklist.
+class VertexWorklist {
+ public:
+  // Empties the set and resizes the universe to [0, n).
+  void reset(Vertex n);
+
+  bool contains(Vertex u) const { return pos_[static_cast<std::size_t>(u)] >= 0; }
+  void insert(Vertex u);  // no-op if already present
+  void erase(Vertex u);   // no-op if absent (swap-with-last removal)
+
+  Vertex size() const { return static_cast<Vertex>(items_.size()); }
+  bool empty() const { return items_.empty(); }
+
+  // Unordered view of the members (stable while no insert/erase happens).
+  const std::vector<Vertex>& items() const { return items_; }
+
+  // Members in ascending vertex order (O(|set| log |set|) copy + sort).
+  std::vector<Vertex> sorted() const;
+
+ private:
+  std::vector<Vertex> items_;
+  std::vector<Vertex> pos_;  // index into items_, or -1 if absent
+};
+
+// The policy interface. A rule is a value type describing one process:
+//
+//   using Color = ...;                 // uint8-backed enum or std::uint8_t
+//   static constexpr bool kTracksStability;  // MIS bookkeeping on/off
+//   int num_colors() const;            // histogram size (raw color values)
+//   int num_counters() const;          // neighbor counters per vertex (<= 32)
+//   Vertex contribution(Color c, int j) const;
+//                                      // how much a c-colored neighbor adds
+//                                      // to counter j (typically 0/1)
+//   bool scheduled(Color c, const Vertex* cnt) const;
+//                                      // u takes SOME transition next round
+//   Color transition(Vertex u, Color c, const Vertex* cnt, int64_t t) const;
+//                                      // the next color; called only for
+//                                      // scheduled vertices, must be a pure
+//                                      // function of its arguments + coins
+//
+// Rules with kTracksStability additionally provide the paper's bookkeeping
+// predicates over (color, counters):
+//
+//   bool active(Color c, const Vertex* cnt) const;       // u ∈ A_t
+//   bool violating(Color c, const Vertex* cnt) const;    // MIS violation
+//   bool stable_black(Color c, const Vertex* cnt) const; // u ∈ I_t
+//
+// and may provide `void end_round(int64_t t)` — a hook run once per
+// synchronous round after the colors were committed (the 3-color process
+// steps its logarithmic switch there).
+template <typename R>
+concept ProcessRule = requires(const R r, typename R::Color c, const Vertex* cnt,
+                               Vertex u, std::int64_t t, int j) {
+  typename R::Color;
+  { R::kTracksStability } -> std::convertible_to<bool>;
+  { r.num_colors() } -> std::convertible_to<int>;
+  { r.num_counters() } -> std::convertible_to<int>;
+  { r.contribution(c, j) } -> std::convertible_to<Vertex>;
+  { r.scheduled(c, cnt) } -> std::convertible_to<bool>;
+  { r.transition(u, c, cnt, t) } -> std::convertible_to<typename R::Color>;
+};
+
+template <ProcessRule Rule>
+class ProcessEngine {
+ public:
+  using Color = typename Rule::Color;
+  static constexpr bool kTracksStability = Rule::kTracksStability;
+  static constexpr int kMaxCounters = 32;
+
+  // `init` must have size g.num_vertices() and only colors with raw value
+  // below rule.num_colors(); the graph must outlive the engine. Throws
+  // std::invalid_argument otherwise.
+  ProcessEngine(const Graph& g, std::vector<Color> init, Rule rule)
+      : graph_(&g), rule_(std::move(rule)), colors_(std::move(init)) {
+    if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
+      throw std::invalid_argument("ProcessEngine: init size != num_vertices");
+    k_ = rule_.num_counters();
+    if (k_ < 0 || k_ > kMaxCounters)
+      throw std::invalid_argument("ProcessEngine: rule needs 0..32 counters");
+    num_colors_ = rule_.num_colors();
+    for (Color c : colors_) {
+      if (static_cast<int>(raw(c)) >= num_colors_)
+        throw std::invalid_argument("ProcessEngine: init color out of range");
+    }
+    const std::size_t n = colors_.size();
+    staged_.resize(n);
+    stage_mark_.assign(n, 0);
+    touch_mark_.assign(n, 0);
+    rebuild();
+  }
+
+  // --- stepping ------------------------------------------------------------
+
+  // One synchronous round: every scheduled vertex transitions against the
+  // frozen end-of-round state; counters, worklist, and aggregates are
+  // patched in O(|A_t| + sum deg(changed)). Advances round() by one.
+  void step() {
+    const std::int64_t t = round_ + 1;
+    decide(worklist_.items(), t, /*validate=*/false);
+    apply();
+    if constexpr (requires(Rule& r) { r.end_round(t); }) rule_.end_round(t);
+    ++round_;
+  }
+
+  // Daemon primitive: transitions exactly `chosen` (each must currently be
+  // scheduled — std::logic_error otherwise), simultaneously against the
+  // frozen state, drawing coins for logical time `t`. Does NOT advance
+  // round() and does NOT run the rule's end-of-round hook; the caller owns
+  // the schedule's notion of time. Duplicate entries are transitioned once.
+  void apply_transitions(std::span<const Vertex> chosen, std::int64_t t) {
+    decide(chosen, t, /*validate=*/true);
+    apply();
+  }
+
+  // Fault-injection / test hook: overwrite one vertex's color, keeping every
+  // counter, worklist entry, and aggregate consistent in O(deg(u)). Counts
+  // as a transient fault, not a round. Throws std::out_of_range on a bad
+  // vertex and std::invalid_argument on a color outside the rule's range.
+  void force_color(Vertex u, Color c) {
+    if (u < 0 || u >= graph_->num_vertices())
+      throw std::out_of_range("force_color: vertex out of range");
+    if (static_cast<int>(raw(c)) >= num_colors_)
+      throw std::invalid_argument("force_color: color out of range");
+    if (colors_[static_cast<std::size_t>(u)] == c) return;
+    changed_.clear();
+    ++stage_gen_;
+    staged_[static_cast<std::size_t>(u)] = c;
+    stage_mark_[static_cast<std::size_t>(u)] = stage_gen_;
+    changed_.push_back(u);
+    apply();
+  }
+
+  // Re-derives worklist membership and aggregates from the (unchanged)
+  // colors and counters. Call after mutating rule parameters that alter the
+  // scheduling predicate (e.g. the beeping network's loss probability).
+  void notify_rule_changed() { rebuild_flags(); }
+
+  // --- state queries -------------------------------------------------------
+
+  std::int64_t round() const { return round_; }
+  const Graph& graph() const { return *graph_; }
+  const Rule& rule() const { return rule_; }
+  Rule& rule() { return rule_; }
+
+  const std::vector<Color>& colors() const { return colors_; }
+  Color color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
+
+  // Incrementally maintained neighbor counter j of u.
+  Vertex counter(Vertex u, int j) const {
+    return counters_[static_cast<std::size_t>(u) * static_cast<std::size_t>(k_) +
+                     static_cast<std::size_t>(j)];
+  }
+  const Vertex* counters(Vertex u) const {
+    return counters_.data() +
+           static_cast<std::size_t>(u) * static_cast<std::size_t>(k_);
+  }
+
+  // Number of vertices currently holding color c (O(1), histogram-backed).
+  Vertex color_count(Color c) const {
+    return hist_[static_cast<std::size_t>(raw(c))];
+  }
+
+  // --- worklist ------------------------------------------------------------
+
+  bool scheduled(Vertex u) const {
+    return (flags_[static_cast<std::size_t>(u)] & kScheduledBit) != 0;
+  }
+  Vertex num_scheduled() const { return worklist_.size(); }
+  const VertexWorklist& worklist() const { return worklist_; }
+  // Ascending order — what a dense seed-semantics scan would produce.
+  std::vector<Vertex> scheduled_set() const { return worklist_.sorted(); }
+
+  // Ascending list of the vertices satisfying `pred` (O(n) scan) — the
+  // shared backing for the wrappers' black_set()/active_set()/... queries.
+  template <typename Pred>
+  std::vector<Vertex> select(Pred pred) const {
+    std::vector<Vertex> out;
+    for (Vertex u = 0; u < graph_->num_vertices(); ++u)
+      if (pred(u)) out.push_back(u);
+    return out;
+  }
+
+  // --- paper bookkeeping (rules with kTracksStability) ---------------------
+
+  // These queries only exist for stability-tracking rules — for anything
+  // else (the network rules) they would be vacuously wrong, so misuse is a
+  // compile error rather than a bad answer.
+  bool active(Vertex u) const
+    requires(kTracksStability)
+  {
+    return (flags_[static_cast<std::size_t>(u)] & kActiveBit) != 0;
+  }
+  bool stable_black(Vertex u) const
+    requires(kTracksStability)
+  {
+    return (flags_[static_cast<std::size_t>(u)] & kStableBlackBit) != 0;
+  }
+  // u ∈ V_t: not covered by the closed neighborhood of any stable black.
+  bool unstable(Vertex u) const
+    requires(kTracksStability)
+  {
+    return covered_[static_cast<std::size_t>(u)] == 0;
+  }
+
+  // |A_t|, violation count, |I_t|, |V_t| — all O(1), maintained
+  // incrementally (the seed implementations rescanned O(n + m) per query).
+  Vertex num_active() const
+    requires(kTracksStability)
+  {
+    return num_active_;
+  }
+  Vertex num_violations() const
+    requires(kTracksStability)
+  {
+    return num_violations_;
+  }
+  Vertex num_stable_black() const
+    requires(kTracksStability)
+  {
+    return num_stable_black_;
+  }
+  Vertex num_unstable() const
+    requires(kTracksStability)
+  {
+    return num_unstable_;
+  }
+
+  // Stabilized ⟺ no MIS violation remains (for the 2-state family this
+  // coincides with A_t = ∅).
+  bool stabilized() const
+    requires(kTracksStability)
+  {
+    return num_violations_ == 0;
+  }
+
+ private:
+  static constexpr std::uint8_t kScheduledBit = 1;
+  static constexpr std::uint8_t kActiveBit = 2;
+  static constexpr std::uint8_t kViolatingBit = 4;
+  static constexpr std::uint8_t kStableBlackBit = 8;
+
+  static constexpr std::uint8_t raw(Color c) { return static_cast<std::uint8_t>(c); }
+
+  // Phase 1: compute next colors against the frozen state; stage changes.
+  template <typename Range>
+  void decide(const Range& range, std::int64_t t, bool validate) {
+    changed_.clear();
+    ++stage_gen_;
+    for (Vertex u : range) {
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (validate) {
+        if (u < 0 || u >= graph_->num_vertices() ||
+            (flags_[su] & kScheduledBit) == 0)
+          throw std::logic_error(
+              "ProcessEngine: transition requested for a non-scheduled vertex");
+        if (stage_mark_[su] == stage_gen_) continue;  // duplicate in `chosen`
+      }
+      const Color next = rule_.transition(u, colors_[su], counters(u), t);
+      if (next != colors_[su]) {
+        // Guard the histogram/counter indexing against a buggy rule (user
+        // automata are extension points): fail loudly instead of corrupting.
+        if (static_cast<int>(raw(next)) >= num_colors_)
+          throw std::logic_error("ProcessEngine: rule produced a color out of range");
+        staged_[su] = next;
+        stage_mark_[su] = stage_gen_;
+        changed_.push_back(u);
+      }
+    }
+  }
+
+  // Phase 2: commit staged colors, patch counters of N(changed), and
+  // refresh flags/worklist/aggregates for N+(changed) only.
+  void apply() {
+    ++touch_gen_;
+    touched_.clear();
+    for (Vertex u : changed_) {
+      const std::size_t su = static_cast<std::size_t>(u);
+      const Color prev = colors_[su];
+      const Color next = staged_[su];
+      --hist_[raw(prev)];
+      ++hist_[raw(next)];
+      colors_[su] = next;
+      touch(u);
+      // Sparse counter patch: only the counters whose contribution differs
+      // between prev and next (at most 2 for one-hot emission rules).
+      int nz = 0;
+      int js[kMaxCounters];
+      Vertex ds[kMaxCounters];
+      for (int j = 0; j < k_; ++j) {
+        const Vertex d = rule_.contribution(next, j) - rule_.contribution(prev, j);
+        if (d != 0) {
+          js[nz] = j;
+          ds[nz] = d;
+          ++nz;
+        }
+      }
+      if (nz == 0) continue;
+      for (Vertex v : graph_->neighbors(u)) {
+        Vertex* base = counters_.data() +
+                       static_cast<std::size_t>(v) * static_cast<std::size_t>(k_);
+        for (int i = 0; i < nz; ++i) base[js[i]] += ds[i];
+        touch(v);
+      }
+    }
+    for (Vertex w : touched_) refresh(w);
+  }
+
+  void touch(Vertex u) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    if (touch_mark_[su] == touch_gen_) return;
+    touch_mark_[su] = touch_gen_;
+    touched_.push_back(u);
+  }
+
+  std::uint8_t compute_flags(Vertex u) const {
+    const Color c = colors_[static_cast<std::size_t>(u)];
+    const Vertex* cnt = counters(u);
+    std::uint8_t f = rule_.scheduled(c, cnt) ? kScheduledBit : 0;
+    if constexpr (kTracksStability) {
+      if (rule_.active(c, cnt)) f |= kActiveBit;
+      if (rule_.violating(c, cnt)) f |= kViolatingBit;
+      if (rule_.stable_black(c, cnt)) f |= kStableBlackBit;
+    }
+    return f;
+  }
+
+  // Re-evaluates u's predicate flags and patches the worklist, aggregates,
+  // and (when stability is tracked) the stable-black coverage counts.
+  void refresh(Vertex u) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    const std::uint8_t now = compute_flags(u);
+    const std::uint8_t before = flags_[su];
+    if (now == before) return;
+    flags_[su] = now;
+    if ((now ^ before) & kScheduledBit) {
+      if (now & kScheduledBit)
+        worklist_.insert(u);
+      else
+        worklist_.erase(u);
+    }
+    if constexpr (kTracksStability) {
+      num_active_ += ((now >> 1) & 1) - ((before >> 1) & 1);
+      num_violations_ += ((now >> 2) & 1) - ((before >> 2) & 1);
+      num_stable_black_ += ((now >> 3) & 1) - ((before >> 3) & 1);
+      if ((now ^ before) & kStableBlackBit) {
+        const Vertex d = (now & kStableBlackBit) ? 1 : -1;
+        bump_covered(u, d);
+        for (Vertex v : graph_->neighbors(u)) bump_covered(v, d);
+      }
+    }
+  }
+
+  void bump_covered(Vertex x, Vertex d) {
+    Vertex& c = covered_[static_cast<std::size_t>(x)];
+    if (c == 0 && d > 0) --num_unstable_;
+    c += d;
+    if (c == 0 && d < 0) ++num_unstable_;
+  }
+
+  // Full O(n + m) derivation of counters + histogram (construction only).
+  void rebuild() {
+    const Vertex n = graph_->num_vertices();
+    hist_.assign(static_cast<std::size_t>(num_colors_), 0);
+    counters_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(k_), 0);
+    for (Vertex u = 0; u < n; ++u) {
+      const Color c = colors_[static_cast<std::size_t>(u)];
+      ++hist_[raw(c)];
+      for (int j = 0; j < k_; ++j) {
+        const Vertex d = rule_.contribution(c, j);
+        if (d == 0) continue;
+        for (Vertex v : graph_->neighbors(u)) {
+          counters_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
+                    static_cast<std::size_t>(j)] += d;
+        }
+      }
+    }
+    rebuild_flags();
+  }
+
+  // O(n) re-derivation of flags, worklist, and aggregates from the current
+  // colors/counters (plus O(m) coverage marking when stability is tracked).
+  void rebuild_flags() {
+    const Vertex n = graph_->num_vertices();
+    flags_.assign(static_cast<std::size_t>(n), 0);
+    worklist_.reset(n);
+    num_active_ = 0;
+    num_violations_ = 0;
+    num_stable_black_ = 0;
+    covered_.assign(static_cast<std::size_t>(n), 0);
+    for (Vertex u = 0; u < n; ++u) {
+      const std::uint8_t f = compute_flags(u);
+      flags_[static_cast<std::size_t>(u)] = f;
+      if (f & kScheduledBit) worklist_.insert(u);
+      if constexpr (kTracksStability) {
+        if (f & kActiveBit) ++num_active_;
+        if (f & kViolatingBit) ++num_violations_;
+        if (f & kStableBlackBit) {
+          ++num_stable_black_;
+          ++covered_[static_cast<std::size_t>(u)];
+          for (Vertex v : graph_->neighbors(u))
+            ++covered_[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    num_unstable_ = 0;
+    if constexpr (kTracksStability) {
+      for (Vertex u = 0; u < n; ++u)
+        if (covered_[static_cast<std::size_t>(u)] == 0) ++num_unstable_;
+    }
+  }
+
+  const Graph* graph_;
+  Rule rule_;
+  std::vector<Color> colors_;
+  std::vector<Vertex> counters_;  // flat [u * k_ + j]
+  std::vector<Vertex> hist_;      // vertices per raw color value
+  std::vector<std::uint8_t> flags_;
+  VertexWorklist worklist_;
+  std::vector<Vertex> covered_;  // stable blacks in N+[u] (stability rules)
+
+  // Scratch for decide/apply (generation-marked to avoid per-round clears;
+  // 64-bit so the marks cannot wrap and collide within any feasible run).
+  std::vector<Color> staged_;
+  std::vector<std::uint64_t> stage_mark_;
+  std::vector<Vertex> changed_;
+  std::vector<std::uint64_t> touch_mark_;
+  std::vector<Vertex> touched_;
+  std::uint64_t stage_gen_ = 0;
+  std::uint64_t touch_gen_ = 0;
+
+  std::int64_t round_ = 0;
+  int k_ = 0;
+  int num_colors_ = 0;
+  Vertex num_active_ = 0;
+  Vertex num_violations_ = 0;
+  Vertex num_stable_black_ = 0;
+  Vertex num_unstable_ = 0;
+};
+
+}  // namespace ssmis

@@ -41,7 +41,11 @@ RoundStats snapshot(const P& process) {
 
 // Runs until stabilized() or until `max_rounds` further rounds have elapsed.
 // With TraceMode::kPerRound the trace includes the initial state and every
-// round end (O(n + m) extra per round for the V_t scan).
+// round end. All engine-backed processes expose O(1) incrementally
+// maintained aggregates (num_stable_black, num_unstable, ...), so per-round
+// tracing adds O(1) per round — a traced round costs the same
+// O(|A_t| + sum deg(changed)) as an untraced one. (Before the engine
+// refactor the V_t snapshot alone was an O(n + m) rescan per round.)
 template <MisProcess P>
 RunResult run_until_stabilized(P& process, std::int64_t max_rounds,
                                TraceMode mode = TraceMode::kNone) {

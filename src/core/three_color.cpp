@@ -1,132 +1,9 @@
 #include "core/three_color.hpp"
 
-#include <stdexcept>
-
 namespace ssmis {
 
-ThreeColorMIS::ThreeColorMIS(const Graph& g, std::vector<ColorG> init,
-                             std::unique_ptr<SwitchProcess> sw,
-                             const CoinOracle& coins)
-    : graph_(&g), coins_(coins), colors_(std::move(init)), switch_(std::move(sw)) {
-  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("ThreeColorMIS: init size != num_vertices");
-  if (switch_ == nullptr)
-    throw std::invalid_argument("ThreeColorMIS: switch must not be null");
-  if (switch_->round() != 0)
-    throw std::invalid_argument("ThreeColorMIS: switch must start at round 0");
-  rebuild_counters();
-}
-
-ThreeColorMIS ThreeColorMIS::with_randomized_switch(const Graph& g,
-                                                    std::vector<ColorG> init,
-                                                    const CoinOracle& coins) {
-  return ThreeColorMIS(g, std::move(init),
-                       std::make_unique<RandomizedLogSwitch>(g, coins), coins);
-}
-
-void ThreeColorMIS::rebuild_counters() {
-  black_nbr_.assign(colors_.size(), 0);
-  num_black_ = 0;
-  num_gray_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    const ColorG c = color(u);
-    if (c == ColorG::kGray) ++num_gray_;
-    if (!is_black(c)) continue;
-    ++num_black_;
-    for (Vertex v : graph_->neighbors(u)) ++black_nbr_[static_cast<std::size_t>(v)];
-  }
-  recount_violations();
-}
-
-void ThreeColorMIS::recount_violations() {
-  num_violations_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    const bool ok = black(u) ? black_neighbor_count(u) == 0
-                             : black_neighbor_count(u) > 0;
-    if (!ok) ++num_violations_;
-  }
-}
-
-void ThreeColorMIS::step() {
-  const std::int64_t t = round_ + 1;
-  const Vertex n = graph_->num_vertices();
-  scratch_next_.resize(colors_.size());
-  // Phase 1: decide next colors from the frozen colors and the switch value
-  // sigma_{t-1} (the switch state at the end of the previous round).
-  for (Vertex u = 0; u < n; ++u) {
-    const ColorG c = color(u);
-    ColorG next = c;
-    if (c == ColorG::kBlack && black_neighbor_count(u) > 0) {
-      next = coins_.fair_coin(t, u) ? ColorG::kBlack : ColorG::kGray;
-    } else if (c == ColorG::kWhite && black_neighbor_count(u) == 0) {
-      next = coins_.fair_coin(t, u) ? ColorG::kBlack : ColorG::kWhite;
-    } else if (c == ColorG::kGray && switch_->on(u)) {
-      next = ColorG::kWhite;
-    }
-    scratch_next_[static_cast<std::size_t>(u)] = next;
-  }
-  // Phase 2: apply diffs and patch counters.
-  for (Vertex u = 0; u < n; ++u) {
-    const ColorG prev = colors_[static_cast<std::size_t>(u)];
-    const ColorG next = scratch_next_[static_cast<std::size_t>(u)];
-    if (prev == next) continue;
-    colors_[static_cast<std::size_t>(u)] = next;
-    num_gray_ += static_cast<int>(next == ColorG::kGray) -
-                 static_cast<int>(prev == ColorG::kGray);
-    const int black_delta =
-        static_cast<int>(is_black(next)) - static_cast<int>(is_black(prev));
-    if (black_delta != 0) {
-      num_black_ += black_delta;
-      for (Vertex v : graph_->neighbors(u))
-        black_nbr_[static_cast<std::size_t>(v)] += black_delta;
-    }
-  }
-  // The switch advances in lockstep, *after* its round-(t-1) value was read.
-  switch_->step();
-  ++round_;
-  recount_violations();
-}
-
-Vertex ThreeColorMIS::num_active() const {
-  Vertex count = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (active(u)) ++count;
-  return count;
-}
-
-Vertex ThreeColorMIS::num_stable_black() const {
-  Vertex count = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (stable_black(u)) ++count;
-  return count;
-}
-
-Vertex ThreeColorMIS::num_unstable() const {
-  std::vector<char> covered(colors_.size(), 0);
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!stable_black(u)) continue;
-    covered[static_cast<std::size_t>(u)] = 1;
-    for (Vertex v : graph_->neighbors(u)) covered[static_cast<std::size_t>(v)] = 1;
-  }
-  Vertex unstable = 0;
-  for (char c : covered)
-    if (!c) ++unstable;
-  return unstable;
-}
-
 std::vector<Vertex> ThreeColorMIS::black_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (black(u)) out.push_back(u);
-  return out;
-}
-
-void ThreeColorMIS::force_color(Vertex u, ColorG c) {
-  if (u < 0 || u >= graph_->num_vertices())
-    throw std::out_of_range("force_color: vertex out of range");
-  if (colors_[static_cast<std::size_t>(u)] == c) return;
-  colors_[static_cast<std::size_t>(u)] = c;
-  rebuild_counters();
+  return engine_.select([this](Vertex u) { return black(u); });
 }
 
 }  // namespace ssmis

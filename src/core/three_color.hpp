@@ -17,6 +17,12 @@
 //
 // With the randomized 6-state switch the combined per-vertex state space is
 // 3 x 6 = 18 states, matching the paper's Theorem 3.
+//
+// Implemented as an engine rule (core/engine.hpp): the scheduled set is the
+// active set plus the gray vertices (a gray vertex can turn white purely
+// because its switch turns on, with no color change anywhere near it, so it
+// stays on the worklist until it leaves gray). The switch advances in the
+// rule's end-of-round hook, after the colors that read sigma_{t-1} commit.
 #pragma once
 
 #include <cstdint>
@@ -24,58 +30,109 @@
 #include <vector>
 
 #include "core/color.hpp"
+#include "core/engine.hpp"
 #include "core/log_switch.hpp"
 #include "graph/graph.hpp"
 #include "rng/coin_oracle.hpp"
 
 namespace ssmis {
 
+class ThreeColorRule {
+ public:
+  using Color = ColorG;
+  static constexpr bool kTracksStability = true;
+
+  // The switch is owned by the wrapping process; the rule only reads/steps it.
+  ThreeColorRule(const CoinOracle& coins, SwitchProcess* sw)
+      : coins_(coins), switch_(sw) {}
+
+  int num_colors() const { return 3; }
+  int num_counters() const { return 1; }  // cnt[0] = black neighbors
+  Vertex contribution(ColorG c, int) const { return is_black(c) ? 1 : 0; }
+
+  // u takes a random transition next round (gray vertices never do).
+  bool active(ColorG c, const Vertex* cnt) const {
+    if (c == ColorG::kBlack) return cnt[0] > 0;
+    if (c == ColorG::kWhite) return cnt[0] == 0;
+    return false;
+  }
+  // Gray is always scheduled: its transition fires whenever its own switch
+  // turns on, independent of any neighborhood color change.
+  bool scheduled(ColorG c, const Vertex* cnt) const {
+    return c == ColorG::kGray || active(c, cnt);
+  }
+  // MIS violation: every non-black vertex (white *or* gray) needs a black
+  // neighbor, and blacks must have none.
+  bool violating(ColorG c, const Vertex* cnt) const {
+    return is_black(c) ? cnt[0] > 0 : cnt[0] == 0;
+  }
+  bool stable_black(ColorG c, const Vertex* cnt) const {
+    return is_black(c) && cnt[0] == 0;
+  }
+
+  ColorG transition(Vertex u, ColorG c, const Vertex* cnt, std::int64_t t) const {
+    if (c == ColorG::kBlack && cnt[0] > 0)
+      return coins_.fair_coin(t, u) ? ColorG::kBlack : ColorG::kGray;
+    if (c == ColorG::kWhite && cnt[0] == 0)
+      return coins_.fair_coin(t, u) ? ColorG::kBlack : ColorG::kWhite;
+    // Gray: reads sigma_{t-1} (the switch advances after this round commits).
+    return switch_->on(u) ? ColorG::kWhite : ColorG::kGray;
+  }
+
+  // The switch advances in lockstep, *after* its round-(t-1) value was read.
+  void end_round(std::int64_t) { switch_->step(); }
+
+ private:
+  CoinOracle coins_;
+  SwitchProcess* switch_;
+};
+
 class ThreeColorMIS {
  public:
+  using Engine = ProcessEngine<ThreeColorRule>;
+
   // Takes ownership of the switch, which must be freshly constructed (round
   // 0) and built over the same graph. Throws std::invalid_argument on size
   // mismatch or null/misaligned switch.
   ThreeColorMIS(const Graph& g, std::vector<ColorG> init,
-                std::unique_ptr<SwitchProcess> sw, const CoinOracle& coins);
+                std::unique_ptr<SwitchProcess> sw, const CoinOracle& coins)
+      : switch_(std::move(sw)),
+        engine_(g, std::move(init), ThreeColorRule(coins, checked(switch_.get()))) {}
 
   // Paper-default construction: randomized 6-state logarithmic switch with
   // zeta = 2^-7 and random initial levels.
   static ThreeColorMIS with_randomized_switch(const Graph& g,
                                               std::vector<ColorG> init,
-                                              const CoinOracle& coins);
+                                              const CoinOracle& coins) {
+    return ThreeColorMIS(g, std::move(init),
+                         std::make_unique<RandomizedLogSwitch>(g, coins), coins);
+  }
 
-  void step();
-  std::int64_t round() const { return round_; }
+  void step() { engine_.step(); }
+  std::int64_t round() const { return engine_.round(); }
 
-  const Graph& graph() const { return *graph_; }
-  const std::vector<ColorG>& colors() const { return colors_; }
-  ColorG color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
+  const Graph& graph() const { return engine_.graph(); }
+  const std::vector<ColorG>& colors() const { return engine_.colors(); }
+  ColorG color(Vertex u) const { return engine_.color(u); }
   bool black(Vertex u) const { return is_black(color(u)); }
   bool gray(Vertex u) const { return color(u) == ColorG::kGray; }
 
-  Vertex black_neighbor_count(Vertex u) const {
-    return black_nbr_[static_cast<std::size_t>(u)];
-  }
+  Vertex black_neighbor_count(Vertex u) const { return engine_.counter(u, 0); }
 
   // u takes a random transition next round (gray vertices never do).
-  bool active(Vertex u) const {
-    const ColorG c = color(u);
-    if (c == ColorG::kBlack) return black_neighbor_count(u) > 0;
-    if (c == ColorG::kWhite) return black_neighbor_count(u) == 0;
-    return false;
-  }
+  bool active(Vertex u) const { return engine_.active(u); }
 
-  bool stable_black(Vertex u) const { return black(u) && black_neighbor_count(u) == 0; }
+  bool stable_black(Vertex u) const { return engine_.stable_black(u); }
 
   // Stabilized ⟺ black set is an MIS: no black-black edge, and every
   // non-black vertex (white *or* gray) has a black neighbor.
-  bool stabilized() const { return num_violations_ == 0; }
+  bool stabilized() const { return engine_.stabilized(); }
 
-  Vertex num_black() const { return num_black_; }
-  Vertex num_gray() const { return num_gray_; }
-  Vertex num_active() const;
-  Vertex num_stable_black() const;
-  Vertex num_unstable() const;
+  Vertex num_black() const { return engine_.color_count(ColorG::kBlack); }
+  Vertex num_gray() const { return engine_.color_count(ColorG::kGray); }
+  Vertex num_active() const { return engine_.num_active(); }
+  Vertex num_stable_black() const { return engine_.num_stable_black(); }
+  Vertex num_unstable() const { return engine_.num_unstable(); }
 
   std::vector<Vertex> black_set() const;
 
@@ -85,22 +142,25 @@ class ThreeColorMIS {
   // Combined per-vertex state count (3 colors x switch states).
   int num_states() const { return 3 * switch_->num_states(); }
 
-  void force_color(Vertex u, ColorG c);
+  // Overwrites one vertex's color in O(deg(u)) (the pre-engine version did a
+  // full O(n + m) counter rebuild).
+  void force_color(Vertex u, ColorG c) { engine_.force_color(u, c); }
+
+  const Engine& engine() const { return engine_; }
 
  private:
-  void rebuild_counters();
-  void recount_violations();
+  static SwitchProcess* checked(SwitchProcess* sw) {
+    if (sw == nullptr)
+      throw std::invalid_argument("ThreeColorMIS: switch must not be null");
+    if (sw->round() != 0)
+      throw std::invalid_argument("ThreeColorMIS: switch must start at round 0");
+    return sw;
+  }
 
-  const Graph* graph_;
-  CoinOracle coins_;
-  std::vector<ColorG> colors_;
+  // Declaration order matters: the engine's rule holds a raw pointer into
+  // `switch_`, which must outlive (and be constructed before) the engine.
   std::unique_ptr<SwitchProcess> switch_;
-  std::vector<Vertex> black_nbr_;
-  std::vector<ColorG> scratch_next_;
-  std::int64_t round_ = 0;
-  Vertex num_black_ = 0;
-  Vertex num_gray_ = 0;
-  Vertex num_violations_ = 0;
+  Engine engine_;
 };
 
 }  // namespace ssmis

@@ -1,120 +1,9 @@
 #include "core/three_state.hpp"
 
-#include <stdexcept>
-
 namespace ssmis {
 
-ThreeStateMIS::ThreeStateMIS(const Graph& g, std::vector<Color3> init,
-                             const CoinOracle& coins)
-    : graph_(&g), coins_(coins), colors_(std::move(init)) {
-  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("ThreeStateMIS: init size != num_vertices");
-  rebuild_counters();
-}
-
-void ThreeStateMIS::rebuild_counters() {
-  black_nbr_.assign(colors_.size(), 0);
-  black1_nbr_.assign(colors_.size(), 0);
-  num_black_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    const Color3 c = color(u);
-    if (!is_black(c)) continue;
-    ++num_black_;
-    for (Vertex v : graph_->neighbors(u)) {
-      ++black_nbr_[static_cast<std::size_t>(v)];
-      if (c == Color3::kBlack1) ++black1_nbr_[static_cast<std::size_t>(v)];
-    }
-  }
-  recount_violations();
-}
-
-void ThreeStateMIS::recount_violations() {
-  num_violations_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (black(u) ? black_neighbor_count(u) > 0 : black_neighbor_count(u) == 0)
-      ++num_violations_;
-  }
-}
-
-void ThreeStateMIS::step() {
-  const std::int64_t t = round_ + 1;
-  const Vertex n = graph_->num_vertices();
-  scratch_next_.resize(colors_.size());
-  // Phase 1: compute all next colors from the frozen state. Unlike the
-  // 2-state process, most vertices change representation each round (stable
-  // blacks keep re-randomizing between black1/black0), so we snapshot the
-  // full next-color vector and patch counters by diffing.
-  for (Vertex u = 0; u < n; ++u) {
-    const Color3 c = color(u);
-    Color3 next = c;
-    if (active(u)) {
-      next = coins_.fair_coin(t, u) ? Color3::kBlack1 : Color3::kBlack0;
-    } else if (c == Color3::kBlack0) {
-      next = Color3::kWhite;  // black0 with a black1 neighbor
-    }
-    scratch_next_[static_cast<std::size_t>(u)] = next;
-  }
-  // Phase 2: apply diffs.
-  for (Vertex u = 0; u < n; ++u) {
-    const Color3 prev = colors_[static_cast<std::size_t>(u)];
-    const Color3 next = scratch_next_[static_cast<std::size_t>(u)];
-    if (prev == next) continue;
-    colors_[static_cast<std::size_t>(u)] = next;
-    const int black_delta = static_cast<int>(is_black(next)) - static_cast<int>(is_black(prev));
-    const int black1_delta = static_cast<int>(next == Color3::kBlack1) -
-                             static_cast<int>(prev == Color3::kBlack1);
-    num_black_ += black_delta;
-    if (black_delta != 0 || black1_delta != 0) {
-      for (Vertex v : graph_->neighbors(u)) {
-        black_nbr_[static_cast<std::size_t>(v)] += black_delta;
-        black1_nbr_[static_cast<std::size_t>(v)] += black1_delta;
-      }
-    }
-  }
-  ++round_;
-  recount_violations();
-}
-
-Vertex ThreeStateMIS::num_active() const {
-  Vertex count = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (active(u)) ++count;
-  return count;
-}
-
-Vertex ThreeStateMIS::num_stable_black() const {
-  Vertex count = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (stable_black(u)) ++count;
-  return count;
-}
-
-Vertex ThreeStateMIS::num_unstable() const {
-  std::vector<char> covered(colors_.size(), 0);
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!stable_black(u)) continue;
-    covered[static_cast<std::size_t>(u)] = 1;
-    for (Vertex v : graph_->neighbors(u)) covered[static_cast<std::size_t>(v)] = 1;
-  }
-  Vertex unstable = 0;
-  for (char c : covered)
-    if (!c) ++unstable;
-  return unstable;
-}
-
 std::vector<Vertex> ThreeStateMIS::black_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (black(u)) out.push_back(u);
-  return out;
-}
-
-void ThreeStateMIS::force_color(Vertex u, Color3 c) {
-  if (u < 0 || u >= graph_->num_vertices())
-    throw std::out_of_range("force_color: vertex out of range");
-  if (colors_[static_cast<std::size_t>(u)] == c) return;
-  colors_[static_cast<std::size_t>(u)] = c;
-  rebuild_counters();
+  return engine_.select([this](Vertex u) { return black(u); });
 }
 
 }  // namespace ssmis

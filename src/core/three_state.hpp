@@ -22,73 +22,117 @@
 // *set* is what stabilizes. No collision detection is needed: the process
 // translates to the synchronous stone-age model with two one-bit channels
 // ("some neighbor is black", "some neighbor is black1").
+//
+// Implemented as an engine rule (core/engine.hpp) with two incrementally
+// maintained counters per vertex. The scheduled set is everything except
+// covered whites, so a round costs O(|scheduled| + sum deg(changed)) — on a
+// stabilized graph that is O(|MIS|) per round (the stable blacks keep
+// re-randomizing their black1/black0 representation by design).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/color.hpp"
+#include "core/engine.hpp"
 #include "graph/graph.hpp"
 #include "rng/coin_oracle.hpp"
 
 namespace ssmis {
 
-class ThreeStateMIS {
+class ThreeStateRule {
  public:
-  ThreeStateMIS(const Graph& g, std::vector<Color3> init, const CoinOracle& coins);
+  using Color = Color3;
+  static constexpr bool kTracksStability = true;
+  static constexpr int kBlackNbr = 0;   // neighbors in {black0, black1}
+  static constexpr int kBlack1Nbr = 1;  // neighbors in {black1}
 
-  void step();
-  std::int64_t round() const { return round_; }
+  explicit ThreeStateRule(const CoinOracle& coins) : coins_(coins) {}
 
-  const Graph& graph() const { return *graph_; }
-  const std::vector<Color3>& colors() const { return colors_; }
-  Color3 color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
-  bool black(Vertex u) const { return is_black(color(u)); }
-
-  Vertex black_neighbor_count(Vertex u) const {
-    return black_nbr_[static_cast<std::size_t>(u)];
-  }
-  Vertex black1_neighbor_count(Vertex u) const {
-    return black1_nbr_[static_cast<std::size_t>(u)];
+  int num_colors() const { return 3; }
+  int num_counters() const { return 2; }
+  Vertex contribution(Color3 c, int j) const {
+    return j == kBlackNbr ? (is_black(c) ? 1 : 0) : (c == Color3::kBlack1 ? 1 : 0);
   }
 
   // u takes the random {black1, black0} transition next round.
-  bool active(Vertex u) const {
-    const Color3 c = color(u);
+  bool active(Color3 c, const Vertex* cnt) const {
     if (c == Color3::kBlack1) return true;
-    if (c == Color3::kBlack0) return black1_neighbor_count(u) == 0;
-    return black_neighbor_count(u) == 0;  // white with no black neighbor
+    if (c == Color3::kBlack0) return cnt[kBlack1Nbr] == 0;
+    return cnt[kBlackNbr] == 0;  // white with no black neighbor
+  }
+  // Takes ANY transition: active, or black0 demoting to white. Equivalently,
+  // everything except a white vertex that already has a black neighbor.
+  bool scheduled(Color3 c, const Vertex* cnt) const {
+    return !(c == Color3::kWhite && cnt[kBlackNbr] > 0);
+  }
+  // Black-set violation: black with a black neighbor, or white without one.
+  bool violating(Color3 c, const Vertex* cnt) const {
+    return is_black(c) ? cnt[kBlackNbr] > 0 : cnt[kBlackNbr] == 0;
+  }
+  bool stable_black(Color3 c, const Vertex* cnt) const {
+    return is_black(c) && cnt[kBlackNbr] == 0;
   }
 
-  // Black-set violation count: blacks with black neighbors + whites without
-  // black neighbors. Zero ⟺ the black set is an MIS ⟺ stabilized.
-  bool stabilized() const { return num_violations_ == 0; }
+  Color3 transition(Vertex u, Color3 c, const Vertex* cnt, std::int64_t t) const {
+    if (active(c, cnt))
+      return coins_.fair_coin(t, u) ? Color3::kBlack1 : Color3::kBlack0;
+    return Color3::kWhite;  // scheduled non-active: black0 with black1 neighbor
+  }
 
-  bool stable_black(Vertex u) const { return black(u) && black_neighbor_count(u) == 0; }
+ private:
+  CoinOracle coins_;
+};
 
-  Vertex num_black() const { return num_black_; }
-  Vertex num_active() const;
-  Vertex num_stable_black() const;
-  Vertex num_unstable() const;
+class ThreeStateMIS {
+ public:
+  using Engine = ProcessEngine<ThreeStateRule>;
+
+  ThreeStateMIS(const Graph& g, std::vector<Color3> init, const CoinOracle& coins)
+      : engine_(g, std::move(init), ThreeStateRule(coins)) {}
+
+  void step() { engine_.step(); }
+  std::int64_t round() const { return engine_.round(); }
+
+  const Graph& graph() const { return engine_.graph(); }
+  const std::vector<Color3>& colors() const { return engine_.colors(); }
+  Color3 color(Vertex u) const { return engine_.color(u); }
+  bool black(Vertex u) const { return is_black(color(u)); }
+
+  Vertex black_neighbor_count(Vertex u) const {
+    return engine_.counter(u, ThreeStateRule::kBlackNbr);
+  }
+  Vertex black1_neighbor_count(Vertex u) const {
+    return engine_.counter(u, ThreeStateRule::kBlack1Nbr);
+  }
+
+  // u takes the random {black1, black0} transition next round.
+  bool active(Vertex u) const { return engine_.active(u); }
+
+  // Zero violations ⟺ the black set is an MIS ⟺ stabilized.
+  bool stabilized() const { return engine_.stabilized(); }
+
+  bool stable_black(Vertex u) const { return engine_.stable_black(u); }
+
+  Vertex num_black() const {
+    return engine_.color_count(Color3::kBlack0) +
+           engine_.color_count(Color3::kBlack1);
+  }
+  Vertex num_active() const { return engine_.num_active(); }
+  Vertex num_stable_black() const { return engine_.num_stable_black(); }
+  Vertex num_unstable() const { return engine_.num_unstable(); }
   Vertex num_gray() const { return 0; }
 
   std::vector<Vertex> black_set() const;
 
-  void force_color(Vertex u, Color3 c);
+  // Overwrites one vertex's color in O(deg(u)) (the pre-engine version did a
+  // full O(n + m) counter rebuild).
+  void force_color(Vertex u, Color3 c) { engine_.force_color(u, c); }
+
+  const Engine& engine() const { return engine_; }
 
  private:
-  void rebuild_counters();
-  void recount_violations();
-
-  const Graph* graph_;
-  CoinOracle coins_;
-  std::vector<Color3> colors_;
-  std::vector<Vertex> black_nbr_;   // neighbors in {black0, black1}
-  std::vector<Vertex> black1_nbr_;  // neighbors in {black1}
-  std::vector<Color3> scratch_next_;
-  std::int64_t round_ = 0;
-  Vertex num_black_ = 0;
-  Vertex num_violations_ = 0;
+  Engine engine_;
 };
 
 }  // namespace ssmis

@@ -1,120 +1,21 @@
 #include "core/two_state.hpp"
 
-#include <stdexcept>
-
 namespace ssmis {
 
-TwoStateMIS::TwoStateMIS(const Graph& g, std::vector<Color2> init,
-                         const CoinOracle& coins)
-    : graph_(&g), coins_(coins), colors_(std::move(init)) {
-  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("TwoStateMIS: init size != num_vertices");
-  black_nbr_.assign(colors_.size(), 0);
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    if (!black(u)) continue;
-    ++num_black_;
-    for (Vertex v : g.neighbors(u)) ++black_nbr_[static_cast<std::size_t>(v)];
-  }
-  recount_active();
-}
-
-void TwoStateMIS::recount_active() {
-  num_active_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (active(u)) ++num_active_;
-}
-
-void TwoStateMIS::step() {
-  const std::int64_t t = round_ + 1;
-  scratch_changed_.clear();
-  // Phase 1: decide new colors from the frozen end-of-round-(t-1) state.
-  // Active vertices take phi_t(u); a change is recorded only when the drawn
-  // color differs from the current one.
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!active(u)) continue;
-    const Color2 drawn =
-        coins_.fair_coin(t, u) ? Color2::kBlack : Color2::kWhite;
-    if (drawn != colors_[static_cast<std::size_t>(u)]) scratch_changed_.push_back(u);
-  }
-  // Phase 2: apply flips and patch neighbor counters.
-  for (Vertex u : scratch_changed_) {
-    auto& c = colors_[static_cast<std::size_t>(u)];
-    const Vertex delta = (c == Color2::kWhite) ? 1 : -1;  // flipping
-    c = (c == Color2::kWhite) ? Color2::kBlack : Color2::kWhite;
-    num_black_ += delta;
-    for (Vertex v : graph_->neighbors(u))
-      black_nbr_[static_cast<std::size_t>(v)] += delta;
-  }
-  ++round_;
-  recount_active();
-}
-
-Vertex TwoStateMIS::num_stable_black() const {
-  Vertex count = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (stable_black(u)) ++count;
-  return count;
-}
-
-Vertex TwoStateMIS::num_unstable() const {
-  // V_t = V \ N+(I_t): mark stable blacks and their neighborhoods.
-  std::vector<char> covered(colors_.size(), 0);
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!stable_black(u)) continue;
-    covered[static_cast<std::size_t>(u)] = 1;
-    for (Vertex v : graph_->neighbors(u)) covered[static_cast<std::size_t>(v)] = 1;
-  }
-  Vertex unstable = 0;
-  for (char c : covered)
-    if (!c) ++unstable;
-  return unstable;
-}
-
 std::vector<Vertex> TwoStateMIS::black_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (black(u)) out.push_back(u);
-  return out;
+  return engine_.select([this](Vertex u) { return black(u); });
 }
 
 std::vector<Vertex> TwoStateMIS::active_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (active(u)) out.push_back(u);
-  return out;
+  return engine_.select([this](Vertex u) { return active(u); });
 }
 
 std::vector<Vertex> TwoStateMIS::stable_black_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (stable_black(u)) out.push_back(u);
-  return out;
+  return engine_.select([this](Vertex u) { return stable_black(u); });
 }
 
 std::vector<Vertex> TwoStateMIS::unstable_set() const {
-  std::vector<char> covered(colors_.size(), 0);
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!stable_black(u)) continue;
-    covered[static_cast<std::size_t>(u)] = 1;
-    for (Vertex v : graph_->neighbors(u)) covered[static_cast<std::size_t>(v)] = 1;
-  }
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (!covered[static_cast<std::size_t>(u)]) out.push_back(u);
-  return out;
-}
-
-void TwoStateMIS::force_color(Vertex u, Color2 c) {
-  if (u < 0 || u >= graph_->num_vertices())
-    throw std::out_of_range("force_color: vertex out of range");
-  auto& cur = colors_[static_cast<std::size_t>(u)];
-  if (cur == c) return;
-  const Vertex delta = (c == Color2::kBlack) ? 1 : -1;
-  cur = c;
-  num_black_ += delta;
-  for (Vertex v : graph_->neighbors(u))
-    black_nbr_[static_cast<std::size_t>(v)] += delta;
-  recount_active();
+  return engine_.select([this](Vertex u) { return engine_.unstable(u); });
 }
 
 }  // namespace ssmis

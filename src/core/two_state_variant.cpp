@@ -1,85 +1,9 @@
 #include "core/two_state_variant.hpp"
 
-#include <stdexcept>
-
 namespace ssmis {
 
-TwoStateVariant::TwoStateVariant(const Graph& g, std::vector<Color2> init,
-                                 const CoinOracle& coins, double black_bias,
-                                 bool eager_white)
-    : graph_(&g),
-      coins_(coins),
-      colors_(std::move(init)),
-      black_bias_(black_bias),
-      eager_white_(eager_white) {
-  if (colors_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("TwoStateVariant: init size != num_vertices");
-  if (!(black_bias > 0.0) || !(black_bias < 1.0))
-    throw std::invalid_argument("TwoStateVariant: black_bias must be in (0,1)");
-  black_nbr_.assign(colors_.size(), 0);
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    if (!black(u)) continue;
-    ++num_black_;
-    for (Vertex v : g.neighbors(u)) ++black_nbr_[static_cast<std::size_t>(v)];
-  }
-  num_active_ = 0;
-  for (Vertex u = 0; u < g.num_vertices(); ++u)
-    if (active(u)) ++num_active_;
-}
-
-void TwoStateVariant::step() {
-  const std::int64_t t = round_ + 1;
-  scratch_changed_.clear();
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!active(u)) continue;
-    bool to_black;
-    if (eager_white_ && !black(u)) {
-      to_black = true;  // deterministic white -> black
-    } else {
-      to_black = coins_.bernoulli(t, u, CoinTag::kAblation, black_bias_);
-    }
-    const Color2 drawn = to_black ? Color2::kBlack : Color2::kWhite;
-    if (drawn != colors_[static_cast<std::size_t>(u)]) scratch_changed_.push_back(u);
-  }
-  for (Vertex u : scratch_changed_) {
-    auto& c = colors_[static_cast<std::size_t>(u)];
-    const Vertex delta = (c == Color2::kWhite) ? 1 : -1;
-    c = (c == Color2::kWhite) ? Color2::kBlack : Color2::kWhite;
-    num_black_ += delta;
-    for (Vertex v : graph_->neighbors(u))
-      black_nbr_[static_cast<std::size_t>(v)] += delta;
-  }
-  ++round_;
-  num_active_ = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (active(u)) ++num_active_;
-}
-
-Vertex TwoStateVariant::num_stable_black() const {
-  Vertex count = 0;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (black(u) && black_neighbor_count(u) == 0) ++count;
-  return count;
-}
-
-Vertex TwoStateVariant::num_unstable() const {
-  std::vector<char> covered(colors_.size(), 0);
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u) {
-    if (!(black(u) && black_neighbor_count(u) == 0)) continue;
-    covered[static_cast<std::size_t>(u)] = 1;
-    for (Vertex v : graph_->neighbors(u)) covered[static_cast<std::size_t>(v)] = 1;
-  }
-  Vertex unstable = 0;
-  for (char c : covered)
-    if (!c) ++unstable;
-  return unstable;
-}
-
 std::vector<Vertex> TwoStateVariant::black_set() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (black(u)) out.push_back(u);
-  return out;
+  return engine_.select([this](Vertex u) { return black(u); });
 }
 
 }  // namespace ssmis

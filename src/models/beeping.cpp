@@ -8,67 +8,36 @@ BeepingNetwork::BeepingNetwork(const Graph& g, const BeepingAutomaton& automaton
                                std::vector<std::uint8_t> init,
                                const CoinOracle& coins,
                                bool sender_collision_detection)
-    : graph_(&g),
-      automaton_(&automaton),
-      coins_(coins),
-      states_(std::move(init)),
-      sender_cd_(sender_collision_detection) {
-  if (states_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("BeepingNetwork: init size != num_vertices");
-  for (std::uint8_t s : states_) {
-    if (s >= automaton.num_states())
-      throw std::invalid_argument("BeepingNetwork: init state out of range");
-  }
-  beeping_.resize(states_.size());
-}
+    : engine_(g, std::move(init),
+              BeepingRule(&automaton, coins, sender_collision_detection)) {}
 
 void BeepingNetwork::step() {
-  const std::int64_t t = round_ + 1;
-  const Vertex n = graph_->num_vertices();
-  beeps_last_round_ = 0;
-  // Broadcast phase: who beeps, from frozen states.
-  for (Vertex u = 0; u < n; ++u) {
-    const bool beep = automaton_->emit(state(u)) == BeepAction::kBeep;
-    beeping_[static_cast<std::size_t>(u)] = beep ? 1 : 0;
-    if (beep) ++beeps_last_round_;
+  // Broadcast accounting against the frozen states: the number of beeping
+  // nodes is a histogram sum over the (constant-size) state alphabet.
+  const BeepingAutomaton& automaton = engine_.rule().automaton();
+  Vertex beeps = 0;
+  for (int s = 0; s < automaton.num_states(); ++s) {
+    if (automaton.emit(static_cast<std::uint8_t>(s)) == BeepAction::kBeep)
+      beeps += engine_.color_count(static_cast<std::uint8_t>(s));
   }
-  total_beeps_ += beeps_last_round_;
-  // Feedback + transition phase. The only information available to a node
-  // is the carrier-sense bit over its *neighbors* (full-duplex: available
-  // to beeping nodes too).
-  for (Vertex u = 0; u < n; ++u) {
-    bool heard = false;
-    // Without sender collision detection, a beeping node's radio is busy
-    // transmitting: it receives nothing this round.
-    if (sender_cd_ || !beeping_[static_cast<std::size_t>(u)]) {
-      for (Vertex v : graph_->neighbors(u)) {
-        if (beeping_[static_cast<std::size_t>(v)]) {
-          heard = true;
-          break;
-        }
-      }
-    }
-    if (heard && loss_probability_ > 0.0 &&
-        coins_.bernoulli(t, u, CoinTag::kNoise, loss_probability_)) {
-      heard = false;  // the carrier-sense bit was lost this round
-    }
-    states_[static_cast<std::size_t>(u)] = automaton_->next(
-        state(u), heard, coins_.word(t, u, CoinTag::kMisColor));
-  }
-  ++round_;
+  beeps_last_round_ = beeps;
+  total_beeps_ += beeps;
+  engine_.step();
 }
 
 void BeepingNetwork::set_loss_probability(double p) {
   if (p < 0.0 || p >= 1.0)
     throw std::invalid_argument("set_loss_probability: need p in [0, 1)");
-  loss_probability_ = p;
+  engine_.rule().set_loss_probability(p);
+  // The loss probability is part of the scheduling predicate (a lossy
+  // carrier-sense bit can wake otherwise-quiescent states).
+  engine_.notify_rule_changed();
 }
 
 std::vector<Vertex> BeepingNetwork::claimed_mis() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (automaton_->in_mis(state(u))) out.push_back(u);
-  return out;
+  const BeepingAutomaton& automaton = engine_.rule().automaton();
+  return engine_.select(
+      [&](Vertex u) { return automaton.in_mis(state(u)); });
 }
 
 }  // namespace ssmis

@@ -35,6 +35,11 @@ class TwoStateBeepAutomaton final : public BeepingAutomaton {
   }
   std::uint8_t next(std::uint8_t state, bool heard,
                     std::uint64_t coin_word) const override;
+  // Non-active nodes keep their state for every coin word — this is what
+  // lets the engine keep only the Definition 4 active set on its worklist.
+  bool quiescent(std::uint8_t state, bool heard) const override {
+    return (state == kBlack) ? !heard : heard;
+  }
   bool in_mis(std::uint8_t state) const override { return state == kBlack; }
 
   static std::uint8_t encode(Color2 c) {
@@ -59,6 +64,12 @@ class ThreeStateStoneAgeAutomaton final : public StoneAgeAutomaton {
   int emit(std::uint8_t state) const override;
   std::uint8_t next(std::uint8_t state, std::uint32_t heard_mask,
                     std::uint64_t w_color, std::uint64_t w_aux) const override;
+  // The only fixed point of Definition 5 is a covered white vertex; black
+  // states always re-randomize their black1/black0 representation.
+  bool quiescent(std::uint8_t state, std::uint32_t heard_mask) const override {
+    return state == kWhite &&
+           (heard_mask & ((1u << kChannelBlack0) | (1u << kChannelBlack1))) != 0;
+  }
   bool in_mis(std::uint8_t state) const override { return state != kWhite; }
 
   static std::uint8_t encode(Color3 c) { return static_cast<std::uint8_t>(c); }

@@ -4,57 +4,41 @@
 
 namespace ssmis {
 
+namespace {
+
+const StoneAgeAutomaton& checked(const StoneAgeAutomaton& automaton) {
+  if (automaton.num_channels() > 32)
+    throw std::invalid_argument("StoneAgeNetwork: more than 32 channels");
+  for (int s = 0; s < automaton.num_states(); ++s) {
+    const int c = automaton.emit(static_cast<std::uint8_t>(s));
+    if (c >= automaton.num_channels() || c < -1)
+      throw std::logic_error("StoneAgeNetwork: automaton emitted bad channel");
+  }
+  return automaton;
+}
+
+}  // namespace
+
 StoneAgeNetwork::StoneAgeNetwork(const Graph& g, const StoneAgeAutomaton& automaton,
                                  std::vector<std::uint8_t> init,
                                  const CoinOracle& coins)
-    : graph_(&g), automaton_(&automaton), coins_(coins), states_(std::move(init)) {
-  if (states_.size() != static_cast<std::size_t>(g.num_vertices()))
-    throw std::invalid_argument("StoneAgeNetwork: init size != num_vertices");
-  if (automaton.num_channels() > 32)
-    throw std::invalid_argument("StoneAgeNetwork: more than 32 channels");
-  for (std::uint8_t s : states_) {
-    if (s >= automaton.num_states())
-      throw std::invalid_argument("StoneAgeNetwork: init state out of range");
-  }
-  channel_.resize(states_.size());
-  heard_.resize(states_.size());
-}
+    : engine_(g, std::move(init), StoneAgeRule(&checked(automaton), coins)) {}
 
 void StoneAgeNetwork::step() {
-  const std::int64_t t = round_ + 1;
-  const Vertex n = graph_->num_vertices();
-  // Broadcast phase.
-  for (Vertex u = 0; u < n; ++u) {
-    const int c = automaton_->emit(state(u));
-    if (c >= automaton_->num_channels())
-      throw std::logic_error("StoneAgeNetwork: automaton emitted bad channel");
-    channel_[static_cast<std::size_t>(u)] = static_cast<std::int8_t>(c);
-    if (c >= 0) ++total_transmissions_;
+  // Broadcast accounting against the frozen states (histogram sum over the
+  // constant-size state alphabet): silent states transmit nothing.
+  const StoneAgeAutomaton& automaton = engine_.rule().automaton();
+  for (int s = 0; s < automaton.num_states(); ++s) {
+    if (automaton.emit(static_cast<std::uint8_t>(s)) >= 0)
+      total_transmissions_ += engine_.color_count(static_cast<std::uint8_t>(s));
   }
-  // Carrier-sense per channel, per node (neighbors only; no self-hearing,
-  // no collision detection: two beeping neighbors read the same as one).
-  for (Vertex u = 0; u < n; ++u) {
-    std::uint32_t mask = 0;
-    for (Vertex v : graph_->neighbors(u)) {
-      const int c = channel_[static_cast<std::size_t>(v)];
-      if (c >= 0) mask |= (static_cast<std::uint32_t>(1) << c);
-    }
-    heard_[static_cast<std::size_t>(u)] = mask;
-  }
-  // Transition phase.
-  for (Vertex u = 0; u < n; ++u) {
-    states_[static_cast<std::size_t>(u)] = automaton_->next(
-        state(u), heard_[static_cast<std::size_t>(u)],
-        coins_.word(t, u, CoinTag::kMisColor), coins_.word(t, u, CoinTag::kSwitchBit));
-  }
-  ++round_;
+  engine_.step();
 }
 
 std::vector<Vertex> StoneAgeNetwork::claimed_mis() const {
-  std::vector<Vertex> out;
-  for (Vertex u = 0; u < graph_->num_vertices(); ++u)
-    if (automaton_->in_mis(state(u))) out.push_back(u);
-  return out;
+  const StoneAgeAutomaton& automaton = engine_.rule().automaton();
+  return engine_.select(
+      [&](Vertex u) { return automaton.in_mis(state(u)); });
 }
 
 }  // namespace ssmis

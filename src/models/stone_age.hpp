@@ -7,11 +7,19 @@
 // The 3-state MIS process runs in this model with 2 channels; the 3-color
 // process (18 states) runs with one channel per state via full-state
 // announcement. Both automata live in mis_automata.hpp.
+//
+// Simulation substrate: the network runs on ProcessEngine (core/engine.hpp)
+// with one incrementally maintained counter per channel — the per-node heard
+// mask is read off the counters instead of an O(m) neighborhood rescan, so a
+// round costs O(|scheduled| + sum deg(nodes that changed state)). Automata
+// that declare quiescent (state, heard-mask) pairs get sparse scheduling;
+// others run dense with identical semantics.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "core/engine.hpp"
 #include "graph/graph.hpp"
 #include "rng/coin_oracle.hpp"
 
@@ -34,21 +42,73 @@ class StoneAgeAutomaton {
   virtual std::uint8_t next(std::uint8_t state, std::uint32_t heard_mask,
                             std::uint64_t w_color, std::uint64_t w_aux) const = 0;
 
+  // Scheduling hint for the sparse engine: return true only if
+  // next(state, heard_mask, w1, w2) == state for EVERY pair of coin words.
+  // The default (never quiescent) is always sound: it means dense stepping.
+  virtual bool quiescent(std::uint8_t /*state*/, std::uint32_t /*heard_mask*/) const {
+    return false;
+  }
+
   virtual bool in_mis(std::uint8_t state) const = 0;
+};
+
+// Engine policy wrapping a StoneAgeAutomaton: counter j counts the
+// neighbors currently beeping on channel j.
+class StoneAgeRule {
+ public:
+  using Color = std::uint8_t;
+  static constexpr bool kTracksStability = false;
+
+  StoneAgeRule(const StoneAgeAutomaton* automaton, const CoinOracle& coins)
+      : automaton_(automaton), coins_(coins) {}
+
+  int num_colors() const { return automaton_->num_states(); }
+  int num_counters() const { return automaton_->num_channels(); }
+  Vertex contribution(std::uint8_t s, int j) const {
+    return automaton_->emit(s) == j ? 1 : 0;
+  }
+
+  bool scheduled(std::uint8_t s, const Vertex* cnt) const {
+    return !automaton_->quiescent(s, heard_mask(cnt));
+  }
+
+  std::uint8_t transition(Vertex u, std::uint8_t s, const Vertex* cnt,
+                          std::int64_t t) const {
+    return automaton_->next(s, heard_mask(cnt),
+                            coins_.word(t, u, CoinTag::kMisColor),
+                            coins_.word(t, u, CoinTag::kSwitchBit));
+  }
+
+  const StoneAgeAutomaton& automaton() const { return *automaton_; }
+
+ private:
+  std::uint32_t heard_mask(const Vertex* cnt) const {
+    std::uint32_t mask = 0;
+    const int k = automaton_->num_channels();
+    for (int j = 0; j < k; ++j)
+      if (cnt[j] > 0) mask |= (static_cast<std::uint32_t>(1) << j);
+    return mask;
+  }
+
+  const StoneAgeAutomaton* automaton_;
+  CoinOracle coins_;
 };
 
 class StoneAgeNetwork {
  public:
+  using Engine = ProcessEngine<StoneAgeRule>;
+
   // Throws std::invalid_argument on init size/state range violations or if
-  // the automaton declares more than 32 channels.
+  // the automaton declares more than 32 channels, and std::logic_error if
+  // any state emits a channel outside [-1, num_channels).
   StoneAgeNetwork(const Graph& g, const StoneAgeAutomaton& automaton,
                   std::vector<std::uint8_t> init, const CoinOracle& coins);
 
   void step();
-  std::int64_t round() const { return round_; }
+  std::int64_t round() const { return engine_.round(); }
 
-  const std::vector<std::uint8_t>& states() const { return states_; }
-  std::uint8_t state(Vertex u) const { return states_[static_cast<std::size_t>(u)]; }
+  const std::vector<std::uint8_t>& states() const { return engine_.colors(); }
+  std::uint8_t state(Vertex u) const { return engine_.color(u); }
 
   std::vector<Vertex> claimed_mis() const;
 
@@ -56,16 +116,12 @@ class StoneAgeNetwork {
   // of information per node per round.
   std::int64_t total_transmissions() const { return total_transmissions_; }
 
-  const Graph& graph() const { return *graph_; }
+  const Graph& graph() const { return engine_.graph(); }
+
+  const Engine& engine() const { return engine_; }
 
  private:
-  const Graph* graph_;
-  const StoneAgeAutomaton* automaton_;
-  CoinOracle coins_;
-  std::vector<std::uint8_t> states_;
-  std::vector<std::int8_t> channel_;    // scratch: per-node emitted channel
-  std::vector<std::uint32_t> heard_;    // scratch: per-node heard mask
-  std::int64_t round_ = 0;
+  Engine engine_;
   std::int64_t total_transmissions_ = 0;
 };
 

@@ -1,0 +1,331 @@
+// Engine invariant and differential tests.
+//
+// 1. Invariant cross-check: the engine's incrementally maintained state —
+//    per-vertex neighbor counters, the active-set worklist, and the O(1)
+//    aggregates (num_active, num_stable_black, num_unstable, histogram) —
+//    is compared against brute-force recomputation from the raw colors,
+//    every round, on random graphs, and under random force_color fault
+//    injection between rounds.
+//
+// 2. Differential check: the engine-backed processes must produce
+//    bit-identical color trajectories to the seed semantics (the naive
+//    Definition 4/5 transcriptions in reference_processes.hpp), including
+//    across force_color faults.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/engine.hpp"
+#include "core/init.hpp"
+#include "core/three_color.hpp"
+#include "core/three_state.hpp"
+#include "core/two_state.hpp"
+#include "core/two_state_variant.hpp"
+#include "graph/generators.hpp"
+#include "reference_processes.hpp"
+#include "rng/coin_oracle.hpp"
+
+namespace ssmis {
+namespace {
+
+// ---------------------------------------------------------------- helpers --
+
+// Brute-force mirror of the engine state for any rule, recomputed from
+// colors alone.
+template <typename Engine>
+void expect_engine_consistent(const Engine& e, const std::string& context) {
+  const Graph& g = e.graph();
+  const auto& rule = e.rule();
+  const Vertex n = g.num_vertices();
+  const int k = rule.num_counters();
+
+  // Counters.
+  std::vector<Vertex> want_cnt(static_cast<std::size_t>(n) * static_cast<std::size_t>(k), 0);
+  for (Vertex u = 0; u < n; ++u) {
+    for (int j = 0; j < k; ++j) {
+      const Vertex c = rule.contribution(e.color(u), j);
+      if (c == 0) continue;
+      for (Vertex v : g.neighbors(u))
+        want_cnt[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+                 static_cast<std::size_t>(j)] += c;
+    }
+  }
+  for (Vertex u = 0; u < n; ++u) {
+    for (int j = 0; j < k; ++j) {
+      ASSERT_EQ(e.counter(u, j),
+                want_cnt[static_cast<std::size_t>(u) * static_cast<std::size_t>(k) +
+                         static_cast<std::size_t>(j)])
+          << context << ": counter " << j << " of vertex " << u;
+    }
+  }
+
+  // Histogram.
+  std::vector<Vertex> want_hist(static_cast<std::size_t>(rule.num_colors()), 0);
+  for (Vertex u = 0; u < n; ++u)
+    ++want_hist[static_cast<std::size_t>(static_cast<std::uint8_t>(e.color(u)))];
+  for (int c = 0; c < rule.num_colors(); ++c) {
+    ASSERT_EQ(e.color_count(static_cast<typename Engine::Color>(c)),
+              want_hist[static_cast<std::size_t>(c)])
+        << context << ": histogram bucket " << c;
+  }
+
+  // Worklist = scheduled predicate, exactly.
+  Vertex want_scheduled = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    const bool want = rule.scheduled(e.color(u), e.counters(u));
+    ASSERT_EQ(e.scheduled(u), want) << context << ": scheduled flag of " << u;
+    ASSERT_EQ(e.worklist().contains(u), want) << context << ": worklist entry " << u;
+    if (want) ++want_scheduled;
+  }
+  ASSERT_EQ(e.num_scheduled(), want_scheduled) << context;
+
+  // Stability aggregates.
+  if constexpr (Engine::kTracksStability) {
+    Vertex want_active = 0, want_violations = 0, want_stable = 0;
+    std::vector<char> covered(static_cast<std::size_t>(n), 0);
+    for (Vertex u = 0; u < n; ++u) {
+      const auto c = e.color(u);
+      const Vertex* cnt = e.counters(u);
+      const bool active = rule.active(c, cnt);
+      const bool stable = rule.stable_black(c, cnt);
+      ASSERT_EQ(e.active(u), active) << context << ": active flag of " << u;
+      ASSERT_EQ(e.stable_black(u), stable) << context << ": stable flag of " << u;
+      if (active) ++want_active;
+      if (rule.violating(c, cnt)) ++want_violations;
+      if (stable) {
+        ++want_stable;
+        covered[static_cast<std::size_t>(u)] = 1;
+        for (Vertex v : g.neighbors(u)) covered[static_cast<std::size_t>(v)] = 1;
+      }
+    }
+    Vertex want_unstable = 0;
+    for (Vertex u = 0; u < n; ++u) {
+      ASSERT_EQ(e.unstable(u), covered[static_cast<std::size_t>(u)] == 0)
+          << context << ": unstable flag of " << u;
+      if (!covered[static_cast<std::size_t>(u)]) ++want_unstable;
+    }
+    ASSERT_EQ(e.num_active(), want_active) << context;
+    ASSERT_EQ(e.num_violations(), want_violations) << context;
+    ASSERT_EQ(e.num_stable_black(), want_stable) << context;
+    ASSERT_EQ(e.num_unstable(), want_unstable) << context;
+    ASSERT_EQ(e.stabilized(), want_violations == 0) << context;
+  }
+}
+
+std::string ctx(const char* name, const Graph& g, int round) {
+  return std::string(name) + " " + g.summary() + " round " + std::to_string(round);
+}
+
+// ------------------------------------------------------- invariant checks --
+
+TEST(EngineInvariants, TwoStateUnderSteppingAndFaults) {
+  const std::vector<Graph> graphs = {gen::gnp(60, 0.08, 3), gen::complete(20),
+                                     gen::random_tree(50, 5), Graph::from_edges(5, {})};
+  const CoinOracle fault_coins(999);
+  for (const Graph& g : graphs) {
+    const CoinOracle coins(11);
+    TwoStateMIS p(g, make_init2(g, InitPattern::kUniformRandom, coins), coins);
+    expect_engine_consistent(p.engine(), ctx("2-state init", g, 0));
+    for (int round = 1; round <= 60; ++round) {
+      p.step();
+      expect_engine_consistent(p.engine(), ctx("2-state", g, round));
+      // A burst of random transient faults every few rounds.
+      if (round % 7 == 0) {
+        for (Vertex u = 0; u < g.num_vertices(); ++u) {
+          if (!fault_coins.bernoulli(round, u, CoinTag::kFault, 0.2)) continue;
+          p.force_color(u, fault_coins.fair_coin(round, u, CoinTag::kFault)
+                               ? Color2::kBlack
+                               : Color2::kWhite);
+        }
+        expect_engine_consistent(p.engine(), ctx("2-state post-fault", g, round));
+      }
+    }
+  }
+}
+
+TEST(EngineInvariants, ThreeStateUnderSteppingAndFaults) {
+  const std::vector<Graph> graphs = {gen::gnp(50, 0.1, 7), gen::star(17),
+                                     gen::cycle(23)};
+  const CoinOracle fault_coins(1000);
+  for (const Graph& g : graphs) {
+    const CoinOracle coins(13);
+    ThreeStateMIS p(g, make_init3(g, InitPattern::kUniformRandom, coins), coins);
+    for (int round = 1; round <= 60; ++round) {
+      p.step();
+      expect_engine_consistent(p.engine(), ctx("3-state", g, round));
+      if (round % 9 == 0) {
+        for (Vertex u = 0; u < g.num_vertices(); ++u) {
+          if (!fault_coins.bernoulli(round, u, CoinTag::kFault, 0.2)) continue;
+          p.force_color(u, static_cast<Color3>(
+                               fault_coins.word(round, u, CoinTag::kFault) % 3));
+        }
+        expect_engine_consistent(p.engine(), ctx("3-state post-fault", g, round));
+      }
+    }
+  }
+}
+
+TEST(EngineInvariants, ThreeColorUnderSteppingAndFaults) {
+  const std::vector<Graph> graphs = {gen::gnp(40, 0.15, 17), gen::complete(14)};
+  const CoinOracle fault_coins(1001);
+  for (const Graph& g : graphs) {
+    const CoinOracle coins(19);
+    auto p = ThreeColorMIS::with_randomized_switch(
+        g, make_init_g(g, InitPattern::kUniformRandom, coins), coins);
+    for (int round = 1; round <= 60; ++round) {
+      p.step();
+      expect_engine_consistent(p.engine(), ctx("3-color", g, round));
+      if (round % 8 == 0) {
+        for (Vertex u = 0; u < g.num_vertices(); ++u) {
+          if (!fault_coins.bernoulli(round, u, CoinTag::kFault, 0.2)) continue;
+          p.force_color(u, static_cast<ColorG>(
+                               fault_coins.word(round, u, CoinTag::kFault) % 3));
+        }
+        expect_engine_consistent(p.engine(), ctx("3-color post-fault", g, round));
+      }
+    }
+  }
+}
+
+TEST(EngineInvariants, TwoStateVariantUnderStepping) {
+  const Graph g = gen::gnp(50, 0.1, 23);
+  const CoinOracle coins(29);
+  TwoStateVariant p(g, make_init2(g, InitPattern::kAlternating, coins), coins, 0.3,
+                    true);
+  for (int round = 1; round <= 80; ++round) {
+    p.step();
+    expect_engine_consistent(p.engine(), ctx("variant", g, round));
+  }
+}
+
+// The engine's subset-transition primitive (the daemon path) must uphold
+// the same invariants and reject non-scheduled vertices.
+TEST(EngineInvariants, SubsetTransitions) {
+  const Graph g = gen::gnp(40, 0.12, 31);
+  const CoinOracle coins(37);
+  ProcessEngine<TwoStateRule> e(g, make_init2(g, InitPattern::kAllBlack, coins),
+                                TwoStateRule(coins));
+  const CoinOracle pick(41);
+  for (int step = 1; step <= 200 && !e.stabilized(); ++step) {
+    const auto enabled = e.scheduled_set();
+    std::vector<Vertex> chosen;
+    for (Vertex u : enabled)
+      if (pick.bernoulli(step, u, CoinTag::kScheduler, 0.5)) chosen.push_back(u);
+    if (chosen.empty()) chosen = enabled;
+    e.apply_transitions({chosen.data(), chosen.size()}, step);
+    expect_engine_consistent(e, ctx("subset", g, step));
+  }
+  // Activating a non-scheduled vertex is a daemon bug, not a silent no-op.
+  for (Vertex u = 0; u < g.num_vertices(); ++u) {
+    if (e.scheduled(u)) continue;
+    const std::vector<Vertex> bad = {u};
+    EXPECT_THROW(e.apply_transitions({bad.data(), bad.size()}, 1000),
+                 std::logic_error);
+    break;
+  }
+}
+
+// ----------------------------------------------------- differential checks --
+
+TEST(EngineDifferential, TwoStateMatchesReferenceAcrossFaults) {
+  const Graph g = gen::gnp(45, 0.12, 43);
+  const CoinOracle coins(47);
+  std::vector<Color2> ref = make_init2(g, InitPattern::kUniformRandom, coins);
+  TwoStateMIS p(g, ref, coins);
+  const CoinOracle fault_coins(1002);
+  for (std::int64_t t = 1; t <= 120; ++t) {
+    p.step();
+    ref = testing::reference_step2(g, ref, coins, t);
+    ASSERT_EQ(p.colors(), ref) << "diverged at round " << t;
+    if (t % 11 == 0) {
+      for (Vertex u = 0; u < g.num_vertices(); ++u) {
+        if (!fault_coins.bernoulli(t, u, CoinTag::kFault, 0.15)) continue;
+        const Color2 c = fault_coins.fair_coin(t, u, CoinTag::kFault)
+                             ? Color2::kBlack
+                             : Color2::kWhite;
+        p.force_color(u, c);
+        ref[static_cast<std::size_t>(u)] = c;
+      }
+    }
+  }
+}
+
+TEST(EngineDifferential, ThreeStateMatchesReferenceAcrossFaults) {
+  const Graph g = gen::gnp(45, 0.12, 53);
+  const CoinOracle coins(59);
+  std::vector<Color3> ref = make_init3(g, InitPattern::kUniformRandom, coins);
+  ThreeStateMIS p(g, ref, coins);
+  const CoinOracle fault_coins(1003);
+  for (std::int64_t t = 1; t <= 120; ++t) {
+    p.step();
+    ref = testing::reference_step3(g, ref, coins, t);
+    ASSERT_EQ(p.colors(), ref) << "diverged at round " << t;
+    if (t % 13 == 0) {
+      for (Vertex u = 0; u < g.num_vertices(); ++u) {
+        if (!fault_coins.bernoulli(t, u, CoinTag::kFault, 0.15)) continue;
+        const Color3 c =
+            static_cast<Color3>(fault_coins.word(t, u, CoinTag::kFault) % 3);
+        p.force_color(u, c);
+        ref[static_cast<std::size_t>(u)] = c;
+      }
+    }
+  }
+}
+
+// The variant rule with q = 1/2 and eager_white = false is Definition 4 on
+// the kAblation coin stream: check against an inline transcription.
+TEST(EngineDifferential, VariantMatchesInlineReference) {
+  const Graph g = gen::gnp(40, 0.15, 61);
+  const CoinOracle coins(67);
+  for (const bool eager : {false, true}) {
+    const double q = 0.35;
+    std::vector<Color2> ref = make_init2(g, InitPattern::kUniformRandom, coins);
+    TwoStateVariant p(g, ref, coins, q, eager);
+    for (std::int64_t t = 1; t <= 100; ++t) {
+      std::vector<Color2> next = ref;
+      for (Vertex u = 0; u < g.num_vertices(); ++u) {
+        bool has_black_nbr = false;
+        for (Vertex v : g.neighbors(u))
+          if (ref[static_cast<std::size_t>(v)] == Color2::kBlack) has_black_nbr = true;
+        const bool is_b = ref[static_cast<std::size_t>(u)] == Color2::kBlack;
+        if (!(is_b ? has_black_nbr : !has_black_nbr)) continue;  // not active
+        bool to_black;
+        if (eager && !is_b) {
+          to_black = true;
+        } else {
+          to_black = coins.bernoulli(t, u, CoinTag::kAblation, q);
+        }
+        next[static_cast<std::size_t>(u)] = to_black ? Color2::kBlack : Color2::kWhite;
+      }
+      p.step();
+      ref = next;
+      ASSERT_EQ(p.colors(), ref) << "eager=" << eager << " round " << t;
+    }
+  }
+}
+
+// force_color must be an exact no-op when the color is unchanged, and must
+// validate its arguments.
+TEST(Engine, ForceColorValidation) {
+  const Graph g = gen::path(4);
+  const CoinOracle coins(1);
+  TwoStateMIS p(g, std::vector<Color2>(4, Color2::kWhite), coins);
+  EXPECT_THROW(p.force_color(-1, Color2::kBlack), std::out_of_range);
+  EXPECT_THROW(p.force_color(4, Color2::kBlack), std::out_of_range);
+  const auto before = p.colors();
+  p.force_color(2, Color2::kWhite);  // same color: no-op
+  EXPECT_EQ(p.colors(), before);
+  expect_engine_consistent(p.engine(), "force_color no-op");
+}
+
+// Engine-level construction validation.
+TEST(Engine, ConstructionValidation) {
+  const Graph g = gen::path(3);
+  const CoinOracle coins(1);
+  EXPECT_THROW(ProcessEngine<TwoStateRule>(g, std::vector<Color2>(2, Color2::kWhite),
+                                           TwoStateRule(coins)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ssmis
