@@ -7,6 +7,8 @@
 #include <iostream>
 #include <string>
 
+#include "harness/experiment.hpp"
+#include "harness/trial_batch.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
 
@@ -17,6 +19,23 @@ struct ExpContext {
   int trials;
   std::uint64_t seed;
   double scale;  // multiplies default problem sizes (--scale=2 for bigger runs)
+  ParallelOptions parallel;  // --threads / --batch, shared across all binaries
+
+  // Copies the parallel-runtime knobs into a measurement config (the
+  // experiment keeps setting trials/seed itself — cells offset seeds).
+  void apply_parallel(MeasureConfig& config) const {
+    config.threads = parallel.threads;
+    config.batch = parallel.batch;
+  }
+
+  // Scheduler for a binary-local trial loop (same knobs, same determinism
+  // contract as measure_stabilization).
+  TrialBatch trial_batch(int num_trials) const {
+    return TrialBatch(num_trials, parallel.batch ? parallel.threads : 1);
+  }
+
+  // Engine shard budget for a single run driven directly by the binary.
+  int shards() const { return parallel.batch ? 1 : parallel.threads; }
 };
 
 inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
@@ -26,9 +45,18 @@ inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
   ctx.trials = static_cast<int>(ctx.args.get_int("trials", default_trials));
   ctx.seed = static_cast<std::uint64_t>(ctx.args.get_int("seed", 1));
   ctx.scale = ctx.args.get_double("scale", 1.0);
+  ctx.parallel = parse_parallel_options(ctx.args);
   std::cout << "#### Experiment " << id << "\n";
   std::cout << "# paper claim: " << claim << "\n";
   std::cout << "# trials/cell: " << ctx.trials << ", seed: " << ctx.seed << "\n";
+  if (ctx.parallel.threads > 1) {
+    // Single-run tables shard the engine even in the default batch mode —
+    // the banner states the policy, not a per-table claim.
+    std::cout << "# threads: " << ctx.parallel.threads << " ("
+              << (ctx.parallel.batch ? "batched trials; single runs shard"
+                                     : "sharded stepping")
+              << ")\n";
+  }
   for (const auto& err : ctx.args.errors()) std::cout << "# CLI warning: " << err << "\n";
   return ctx;
 }

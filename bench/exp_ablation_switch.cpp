@@ -58,14 +58,20 @@ int main(int argc, char** argv) {
       table.begin_row();
       table.add_cell(w.name);
       for (int d : {2, 3, 4}) {
+        const auto outcomes =
+            ctx.trial_batch(ctx.trials).map<double>([&](int trial) -> double {
+              const CoinOracle coins(ctx.seed + 100 +
+                                     static_cast<std::uint64_t>(trial));
+              ThreeColorMIS p(
+                  w.graph, make_init_g(w.graph, InitPattern::kUniformRandom, coins),
+                  std::make_unique<PhaseClockSwitch>(w.graph, d, coins), coins);
+              p.set_shards(ctx.shards());
+              const RunResult r = run_until_stabilized(p, 2000000);
+              return r.stabilized ? static_cast<double>(r.rounds) : -1.0;
+            });
         std::vector<double> rounds;
-        for (int trial = 0; trial < ctx.trials; ++trial) {
-          const CoinOracle coins(ctx.seed + 100 + static_cast<std::uint64_t>(trial));
-          ThreeColorMIS p(w.graph, make_init_g(w.graph, InitPattern::kUniformRandom, coins),
-                          std::make_unique<PhaseClockSwitch>(w.graph, d, coins), coins);
-          const RunResult r = run_until_stabilized(p, 2000000);
-          if (r.stabilized) rounds.push_back(static_cast<double>(r.rounds));
-        }
+        for (double v : outcomes)
+          if (v >= 0.0) rounds.push_back(v);
         const Summary s = summarize(rounds);
         table.add_cell(format_double(s.mean, 1) + " (" + std::to_string(s.count) + "/" +
                        std::to_string(ctx.trials) + " ok)");

@@ -19,16 +19,26 @@ using namespace ssmis;
 namespace {
 
 Summary measure_variant(const Graph& g, double q, bool eager, int trials,
-                        std::uint64_t seed, int* timeouts) {
+                        std::uint64_t seed, int* timeouts,
+                        const bench::ExpContext& ctx) {
+  // One slot per trial: results are reduced in trial order, so the table is
+  // identical at any --threads value.
+  const auto outcomes =
+      ctx.trial_batch(trials).map<double>([&](int trial) -> double {
+        const CoinOracle coins(seed + static_cast<std::uint64_t>(trial));
+        TwoStateVariant p(g, make_init2(g, InitPattern::kUniformRandom, coins),
+                          coins, q, eager);
+        p.set_shards(ctx.shards());
+        const RunResult r = run_until_stabilized(p, 500000);
+        if (r.stabilized && is_mis(g, p.black_set()))
+          return static_cast<double>(r.rounds);
+        return -1.0;  // timeout marker
+      });
   std::vector<double> rounds;
   *timeouts = 0;
-  for (int trial = 0; trial < trials; ++trial) {
-    const CoinOracle coins(seed + static_cast<std::uint64_t>(trial));
-    TwoStateVariant p(g, make_init2(g, InitPattern::kUniformRandom, coins), coins, q,
-                      eager);
-    const RunResult r = run_until_stabilized(p, 500000);
-    if (r.stabilized && is_mis(g, p.black_set()))
-      rounds.push_back(static_cast<double>(r.rounds));
+  for (double v : outcomes) {
+    if (v >= 0.0)
+      rounds.push_back(v);
     else
       ++*timeouts;
   }
@@ -55,7 +65,7 @@ int main(int argc, char** argv) {
     for (double q : {0.1, 0.25, 0.5, 0.75, 0.9}) {
       int timeouts = 0;
       const Summary s = measure_variant(w.graph, q, false, ctx.trials,
-                                        ctx.seed + 17, &timeouts);
+                                        ctx.seed + 17, &timeouts, ctx);
       table.begin_row();
       table.add_cell(q, 2);
       table.add_cell(s.mean);
@@ -67,7 +77,7 @@ int main(int argc, char** argv) {
     for (double q : {0.5}) {
       int timeouts = 0;
       const Summary s = measure_variant(w.graph, q, true, ctx.trials,
-                                        ctx.seed + 23, &timeouts);
+                                        ctx.seed + 23, &timeouts, ctx);
       table.begin_row();
       table.add_cell("eager-white q=0.50");
       table.add_cell(s.mean);

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
         config.trials = ctx.trials;
         config.seed = ctx.seed;
         config.max_rounds = 2000000;
+        ctx.apply_parallel(config);
         const Measurements m = measure_stabilization(cell.graph, config);
         table.add_cell(m.summary.mean);
       }
@@ -83,6 +84,7 @@ int main(int argc, char** argv) {
         config.trials = 3;
         config.seed = ctx.seed + 5;
         config.max_rounds = 2000000;
+        ctx.apply_parallel(config);
         const Measurements m = measure_stabilization(cell.graph, config);
         table.add_cell(m.timeouts == 0 ? "yes" : "NO");
       }

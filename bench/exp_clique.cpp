@@ -40,6 +40,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + static_cast<std::uint64_t>(n);
       config.max_rounds = 2000000;
+      ctx.apply_parallel(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(g.num_vertices());
       table.begin_row();
@@ -64,6 +65,7 @@ int main(int argc, char** argv) {
     config.trials = std::max(200, ctx.trials * 4);
     config.seed = ctx.seed + 999;
     config.max_rounds = 2000000;
+    ctx.apply_parallel(config);
     const Measurements m = measure_stabilization(g, config);
     const double ln = bench::log2n(256);
     std::vector<double> normalized;

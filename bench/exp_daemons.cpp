@@ -28,27 +28,40 @@ struct DaemonResult {
   int failures = 0;
 };
 
+struct TrialOutcome {
+  std::int64_t steps = 0;
+  std::int64_t activations = 0;
+  bool ok = false;
+};
+
 template <typename MakeDaemon>
 DaemonResult run_daemon(const Graph& g, MakeDaemon make, int trials,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, const bench::ExpContext& ctx) {
+  // `make` constructs a fresh daemon per trial, so every trial owns its
+  // whole process state and trials batch safely across the pool.
+  const auto outcomes =
+      ctx.trial_batch(trials).map<TrialOutcome>([&](int trial) {
+        const CoinOracle coins(seed + static_cast<std::uint64_t>(trial));
+        DaemonMIS p(g, make_init2(g, InitPattern::kUniformRandom, coins),
+                    make(trial), coins);
+        p.set_shards(ctx.shards());
+        TrialOutcome out;
+        const std::int64_t max_steps = 5000000;
+        while (!p.stabilized() && out.steps < max_steps) {
+          out.activations += p.step();
+          ++out.steps;
+        }
+        out.ok = p.stabilized() && is_mis(g, p.black_set());
+        return out;
+      });
   DaemonResult out;
-  for (int trial = 0; trial < trials; ++trial) {
-    const CoinOracle coins(seed + static_cast<std::uint64_t>(trial));
-    DaemonMIS p(g, make_init2(g, InitPattern::kUniformRandom, coins), make(trial),
-                coins);
-    std::int64_t activations = 0;
-    std::int64_t steps = 0;
-    const std::int64_t max_steps = 5000000;
-    while (!p.stabilized() && steps < max_steps) {
-      activations += p.step();
-      ++steps;
-    }
-    if (!p.stabilized() || !is_mis(g, p.black_set())) {
+  for (const TrialOutcome& o : outcomes) {
+    if (!o.ok) {
       ++out.failures;
       continue;
     }
-    out.mean_steps += static_cast<double>(steps);
-    out.mean_activations += static_cast<double>(activations);
+    out.mean_steps += static_cast<double>(o.steps);
+    out.mean_activations += static_cast<double>(o.activations);
   }
   const int ok = trials - out.failures;
   if (ok > 0) {
@@ -87,7 +100,7 @@ int main(int argc, char** argv) {
                                  return std::make_unique<CentralDaemon>(
                                      ctx.seed + 100 + static_cast<std::uint64_t>(t));
                                },
-                               ctx.trials, ctx.seed + 5)});
+                               ctx.trials, ctx.seed + 5, ctx)});
     for (double rho : {0.1, 0.5}) {
       rows.push_back({"subset rho=" + format_double(rho, 1),
                       run_daemon(w.graph,
@@ -96,12 +109,12 @@ int main(int argc, char** argv) {
                                        rho, ctx.seed + 200 +
                                                 static_cast<std::uint64_t>(t));
                                  },
-                                 ctx.trials, ctx.seed + 7)});
+                                 ctx.trials, ctx.seed + 7, ctx)});
     }
     rows.push_back({"synchronous (all enabled)",
                     run_daemon(w.graph,
                                [](int) { return std::make_unique<SynchronousDaemon>(); },
-                               ctx.trials, ctx.seed + 9)});
+                               ctx.trials, ctx.seed + 9, ctx)});
     for (auto& row : rows) {
       table.begin_row();
       table.add_cell(row.name);

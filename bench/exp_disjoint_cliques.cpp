@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
     config.trials = ctx.trials;
     config.seed = ctx.seed + static_cast<std::uint64_t>(side);
     config.max_rounds = 2000000;
+    ctx.apply_parallel(config);
     const Measurements m = measure_stabilization(g, config);
     const double ln = bench::log2n(n);
     table.begin_row();

@@ -26,17 +26,23 @@ namespace {
 template <typename Process>
 Summary recovery_summary(const Graph& g, int trials, std::uint64_t seed,
                          double fraction,
-                         Process (*make)(const Graph&, std::uint64_t)) {
+                         Process (*make)(const Graph&, std::uint64_t),
+                         const bench::ExpContext& ctx) {
+  const auto outcomes =
+      ctx.trial_batch(trials).map<double>([&](int trial) -> double {
+        Process p = make(g, seed + static_cast<std::uint64_t>(trial));
+        p.set_shards(ctx.shards());
+        RunResult r = run_until_stabilized(p, 2000000);
+        if (!r.stabilized) return -1.0;
+        inject_faults(p, fraction, trial);
+        r = run_until_stabilized(p, 2000000);
+        if (r.stabilized && is_mis(g, p.black_set()))
+          return static_cast<double>(r.rounds);
+        return -1.0;
+      });
   std::vector<double> rounds;
-  for (int trial = 0; trial < trials; ++trial) {
-    Process p = make(g, seed + static_cast<std::uint64_t>(trial));
-    RunResult r = run_until_stabilized(p, 2000000);
-    if (!r.stabilized) continue;
-    inject_faults(p, fraction, trial);
-    r = run_until_stabilized(p, 2000000);
-    if (r.stabilized && is_mis(g, p.black_set()))
-      rounds.push_back(static_cast<double>(r.rounds));
-  }
+  for (double v : outcomes)
+    if (v >= 0.0) rounds.push_back(v);
   return summarize(rounds);
 }
 
@@ -81,12 +87,12 @@ int main(int argc, char** argv) {
     TextTable table({"corrupt frac", "2-state mean", "2-state p95", "3-state mean",
                      "3-color mean"});
     for (double fraction : {0.05, 0.2, 0.5, 1.0}) {
-      const Summary s2 =
-          recovery_summary<TwoStateMIS>(*w.graph, ctx.trials, ctx.seed + 31, fraction, make2);
-      const Summary s3 =
-          recovery_summary<ThreeStateMIS>(*w.graph, ctx.trials, ctx.seed + 37, fraction, make3);
-      const Summary sg =
-          recovery_summary<ThreeColorMIS>(*w.graph, ctx.trials, ctx.seed + 41, fraction, make_g);
+      const Summary s2 = recovery_summary<TwoStateMIS>(
+          *w.graph, ctx.trials, ctx.seed + 31, fraction, make2, ctx);
+      const Summary s3 = recovery_summary<ThreeStateMIS>(
+          *w.graph, ctx.trials, ctx.seed + 37, fraction, make3, ctx);
+      const Summary sg = recovery_summary<ThreeColorMIS>(
+          *w.graph, ctx.trials, ctx.seed + 41, fraction, make_g, ctx);
       table.begin_row();
       table.add_cell(fraction, 2);
       table.add_cell(s2.mean);

@@ -45,6 +45,7 @@ int main(int argc, char** argv) {
     c2.trials = ctx.trials;
     c2.seed = ctx.seed + 3;
     c2.max_rounds = 2000000;
+    ctx.apply_parallel(c2);
     const Measurements m2 = measure_stabilization(g, c2);
 
     MeasureConfig c3 = c2;

@@ -35,12 +35,16 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "good-graph property pass rates over samples");
   TextTable table({"n", "p", "samples", "P1", "P2", "P3", "P4", "P5", "P6", "all"});
   for (const Cell& cell : cells) {
-    int pass[6] = {0, 0, 0, 0, 0, 0};
-    int pass_all = 0;
-    for (int s = 0; s < ctx.trials; ++s) {
+    // Each sample generates its own graph and checks it independently, so
+    // samples batch across the pool like trials.
+    const auto reports = ctx.trial_batch(ctx.trials).map<GoodGraphReport>([&](int s) {
       const Graph g =
           gen::gnp(cell.n, cell.p, ctx.seed + static_cast<std::uint64_t>(s) * 131);
-      const auto report = check_good_sampled(g, cell.p, 20, ctx.seed + 7);
+      return check_good_sampled(g, cell.p, 20, ctx.seed + 7);
+    });
+    int pass[6] = {0, 0, 0, 0, 0, 0};
+    int pass_all = 0;
+    for (const auto& report : reports) {
       pass[0] += report.p1;
       pass[1] += report.p2;
       pass[2] += report.p3;

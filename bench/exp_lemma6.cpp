@@ -33,14 +33,15 @@ int main(int argc, char** argv) {
   for (Vertex k : {1, 2, 4, 8, 16, 32}) {
     const Graph g = gen::complete(k + 1);
     const auto rounds = static_cast<std::int64_t>(std::ceil(std::log2(k + 1.0)));
-    int hits = 0;
-    for (int trial = 0; trial < trials; ++trial) {
+    const auto hit = ctx.trial_batch(trials).map<char>([&](int trial) -> char {
       TwoStateMIS p(g,
                     std::vector<Color2>(static_cast<std::size_t>(k) + 1, Color2::kBlack),
                     CoinOracle(ctx.seed + static_cast<std::uint64_t>(trial)));
       for (std::int64_t r = 0; r < rounds; ++r) p.step();
-      if (p.stable_black(0)) ++hits;
-    }
+      return p.stable_black(0) ? 1 : 0;
+    });
+    int hits = 0;
+    for (char h : hit) hits += h;
     const double measured = static_cast<double>(hits) / trials;
     const double bound = 1.0 / (2.0 * std::exp(1.0) * k);
     table.begin_row();
@@ -58,13 +59,14 @@ int main(int argc, char** argv) {
     const Vertex l = k + 1;  // all clique vertices tracked
     const Graph g = gen::complete(l);
     const auto rounds = static_cast<std::int64_t>(std::ceil(std::log2(k + 1.0)));
-    int hits = 0;
-    for (int trial = 0; trial < trials; ++trial) {
+    const auto hit = ctx.trial_batch(trials).map<char>([&](int trial) -> char {
       TwoStateMIS p(g, std::vector<Color2>(static_cast<std::size_t>(l), Color2::kBlack),
                     CoinOracle(ctx.seed + 777 + static_cast<std::uint64_t>(trial)));
       for (std::int64_t r = 0; r < rounds; ++r) p.step();
-      if (p.num_stable_black() > 0) ++hits;
-    }
+      return p.num_stable_black() > 0 ? 1 : 0;
+    });
+    int hits = 0;
+    for (char h : hit) hits += h;
     const double measured = static_cast<double>(hits) / trials;
     const double bound =
         0.2 * std::min(1.0, static_cast<double>(l) / (2.0 * k));

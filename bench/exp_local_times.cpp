@@ -35,12 +35,18 @@ int main(int argc, char** argv) {
                    "median/max"});
   for (auto& cell : cells) {
     MeasureConfig config;
+    config.trials = ctx.trials;
     config.seed = ctx.seed + 7;
     config.max_rounds = 1000000;
-    const auto times = vertex_stabilization_times(cell.graph, config);
+    ctx.apply_parallel(config);
+    // One per-vertex vector per trial (batched across the pool); pooled into
+    // a single distribution. With the default --trials=1 this is exactly the
+    // old single-run table.
+    const auto per_trial = vertex_stabilization_times_batch(cell.graph, config);
     std::vector<double> finite;
-    for (std::int64_t t : times)
-      if (t >= 0) finite.push_back(static_cast<double>(t));
+    for (const auto& times : per_trial)
+      for (std::int64_t t : times)
+        if (t >= 0) finite.push_back(static_cast<double>(t));
     const Summary s = summarize(finite);
     table.begin_row();
     table.add_cell(cell.name);
@@ -58,6 +64,7 @@ int main(int argc, char** argv) {
     MeasureConfig config;
     config.seed = ctx.seed + 7;
     config.max_rounds = 1000000;
+    ctx.apply_parallel(config);
     const Graph g = gen::gnp(4096, 0.002, ctx.seed);
     const auto times = vertex_stabilization_times(g, config);
     std::vector<double> finite;

@@ -36,12 +36,30 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "switch run-length statistics (20000 rounds, warm-up 50)");
   TextTable table({"graph", "n", "diam<=2", "max-off", "S1 bound a*ln(n)",
                    "min-off", "S2 bound (a/6)ln(n)", "max-on", "S3 bound b=3"});
-  for (auto& cell : cells) {
+  // Cells are independent (each owns its switch), so they batch across the
+  // pool like trials; rows are emitted in cell order regardless of threads.
+  struct CellRow {
+    SwitchRunStats stats;
+    bool diam2 = false;
+    double a = 0;
+  };
+  const auto rows = ctx.trial_batch(static_cast<int>(cells.size()))
+                        .map<CellRow>([&](int i) {
+                          auto& cell = cells[static_cast<std::size_t>(i)];
+                          RandomizedLogSwitch sw(cell.graph, CoinOracle(ctx.seed + 17));
+                          CellRow row;
+                          row.stats = measure_switch_runs(
+                              sw, cell.graph.num_vertices(), 20000, 50);
+                          row.diam2 = has_diameter_at_most_2(cell.graph);
+                          row.a = sw.parameter_a();
+                          return row;
+                        });
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto& cell = cells[i];
     const Vertex n = cell.graph.num_vertices();
-    RandomizedLogSwitch sw(cell.graph, CoinOracle(ctx.seed + 17));
-    const auto stats = measure_switch_runs(sw, n, 20000, 50);
-    const bool diam2 = has_diameter_at_most_2(cell.graph);
-    const double a = sw.parameter_a();
+    const auto& stats = rows[i].stats;
+    const bool diam2 = rows[i].diam2;
+    const double a = rows[i].a;
     table.begin_row();
     table.add_cell(cell.name);
     table.add_cell(static_cast<std::int64_t>(n));

@@ -32,16 +32,19 @@ int main(int argc, char** argv) {
   TextTable table({"loss eps", "rounds to first MIS", "exact-MIS availability",
                    "mean local consistency", "worst-round consistency"});
   for (double eps : {0.0, 0.005, 0.01, 0.05, 0.1, 0.2}) {
-    double first_total = 0;
-    double avail_total = 0;
-    double consistency_total = 0;
-    double worst_total = 0;
-    for (int trial = 0; trial < ctx.trials; ++trial) {
+    struct TrialStats {
+      double first = 0;
+      double avail = 0;
+      double consistency = 0;
+      double worst = 0;
+    };
+    const auto outcomes = ctx.trial_batch(ctx.trials).map<TrialStats>([&](int trial) {
       std::vector<std::uint8_t> boot(static_cast<std::size_t>(g.num_vertices()),
                                      TwoStateBeepAutomaton::kBlack);
       BeepingNetwork net(g, automaton, boot,
                          CoinOracle(ctx.seed + 31 + static_cast<std::uint64_t>(trial)));
       net.set_loss_probability(eps);
+      net.set_shards(ctx.shards());
       const std::int64_t window = 4000;
       std::int64_t first_mis = -1;
       std::int64_t in_mis_rounds = 0;
@@ -72,10 +75,22 @@ int main(int argc, char** argv) {
           ++in_mis_rounds;
         }
       }
-      first_total += static_cast<double>(first_mis < 0 ? window : first_mis);
-      avail_total += static_cast<double>(in_mis_rounds) / static_cast<double>(window);
-      consistency_total += consistency_sum / static_cast<double>(window);
-      worst_total += worst;
+      TrialStats out;
+      out.first = static_cast<double>(first_mis < 0 ? window : first_mis);
+      out.avail = static_cast<double>(in_mis_rounds) / static_cast<double>(window);
+      out.consistency = consistency_sum / static_cast<double>(window);
+      out.worst = worst;
+      return out;
+    });
+    double first_total = 0;
+    double avail_total = 0;
+    double consistency_total = 0;
+    double worst_total = 0;
+    for (const TrialStats& o : outcomes) {
+      first_total += o.first;
+      avail_total += o.avail;
+      consistency_total += o.consistency;
+      worst_total += o.worst;
     }
     table.begin_row();
     table.add_cell(eps, 3);

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + 100 + static_cast<std::uint64_t>(d);
       config.max_rounds = 1000000;
+      ctx.apply_parallel(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(2048);
       table.begin_row();
@@ -53,6 +54,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + 7;
       config.max_rounds = 1000000;
+      ctx.apply_parallel(config);
       const Measurements m = measure_stabilization(cell.graph, config);
       const double ln = bench::log2n(cell.graph.num_vertices());
       table.begin_row();

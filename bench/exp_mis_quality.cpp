@@ -21,19 +21,25 @@ using namespace ssmis;
 
 namespace {
 
-Summary mis_sizes(const Graph& g, ProcessKind kind, int trials, std::uint64_t seed) {
+Summary mis_sizes(const Graph& g, ProcessKind kind, int trials, std::uint64_t seed,
+                  const bench::ExpContext& ctx) {
+  const auto outcomes =
+      ctx.trial_batch(trials).map<double>([&](int trial) -> double {
+        MeasureConfig config;
+        config.kind = kind;
+        config.trials = 1;
+        config.seed = seed + static_cast<std::uint64_t>(trial);
+        config.max_rounds = 2000000;
+        config.threads = ctx.shards();  // traced_run shards, never batches
+        // Re-run through the harness trace API to recover the final black count.
+        const RunResult r = traced_run(g, config);
+        if (r.stabilized && !r.trace.empty())
+          return static_cast<double>(r.trace.back().black);
+        return -1.0;
+      });
   std::vector<double> sizes;
-  for (int trial = 0; trial < trials; ++trial) {
-    MeasureConfig config;
-    config.kind = kind;
-    config.trials = 1;
-    config.seed = seed + static_cast<std::uint64_t>(trial);
-    config.max_rounds = 2000000;
-    // Re-run through the harness trace API to recover the final black count.
-    const RunResult r = traced_run(g, config);
-    if (r.stabilized && !r.trace.empty())
-      sizes.push_back(static_cast<double>(r.trace.back().black));
-  }
+  for (double v : outcomes)
+    if (v >= 0.0) sizes.push_back(v);
   return summarize(sizes);
 }
 
@@ -62,9 +68,9 @@ int main(int argc, char** argv) {
       const auto i_min = independent_domination_number(cell.graph);
       const auto alpha = exact_max_independent_set(cell.graph).size();
       const Summary s2 = mis_sizes(cell.graph, ProcessKind::kTwoState, ctx.trials,
-                                   ctx.seed + 11);
+                                   ctx.seed + 11, ctx);
       const Summary s3 = mis_sizes(cell.graph, ProcessKind::kThreeState, ctx.trials,
-                                   ctx.seed + 13);
+                                   ctx.seed + 13, ctx);
       table.begin_row();
       table.add_cell(cell.name);
       table.add_cell(static_cast<std::int64_t>(i_min));
@@ -88,7 +94,7 @@ int main(int argc, char** argv) {
                      "mean/greedy"});
     for (auto& cell : cells) {
       const Summary s2 = mis_sizes(cell.graph, ProcessKind::kTwoState, ctx.trials,
-                                   ctx.seed + 17);
+                                   ctx.seed + 17, ctx);
       const auto greedy = static_cast<double>(greedy_mis(cell.graph).size());
       table.begin_row();
       table.add_cell(cell.name);

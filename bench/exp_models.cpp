@@ -36,11 +36,17 @@ int main(int argc, char** argv) {
 
   print_banner(std::cout, "trace equivalence (rounds compared, mismatches)");
   TextTable table({"graph", "2state/beeping", "3state/stoneage", "3color/stoneage18"});
-  for (const auto& cell : suite) {
+  // Each suite cell's three lockstep comparisons are self-contained, so the
+  // cells batch across the pool; rows are rendered in suite order.
+  struct RowCells {
+    std::string beeping, stoneage, stoneage18;
+  };
+  const auto row_cells = ctx.trial_batch(static_cast<int>(suite.size()))
+                             .map<RowCells>([&](int cell_idx) {
+    const auto& cell = suite[static_cast<std::size_t>(cell_idx)];
+    RowCells row;
     const Graph& g = cell.graph;
     const CoinOracle coins(ctx.seed + 11);
-    table.begin_row();
-    table.add_cell(cell.name);
 
     {
       const auto init = make_init2(g, InitPattern::kUniformRandom, coins);
@@ -57,8 +63,8 @@ int main(int argc, char** argv) {
         for (Vertex u = 0; u < g.num_vertices(); ++u)
           if (TwoStateBeepAutomaton::decode(net.state(u)) != direct.color(u)) ++mismatches;
       }
-      table.add_cell(std::to_string(rounds) + " rounds, " + std::to_string(mismatches) +
-                     " mism");
+      row.beeping = std::to_string(rounds) + " rounds, " +
+                    std::to_string(mismatches) + " mism";
     }
     {
       const auto init = make_init3(g, InitPattern::kUniformRandom, coins);
@@ -76,8 +82,8 @@ int main(int argc, char** argv) {
           if (ThreeStateStoneAgeAutomaton::decode(net.state(u)) != direct.color(u))
             ++mismatches;
       }
-      table.add_cell(std::to_string(rounds) + " rounds, " + std::to_string(mismatches) +
-                     " mism");
+      row.stoneage = std::to_string(rounds) + " rounds, " +
+                     std::to_string(mismatches) + " mism";
     }
     {
       const auto init = make_init_g(g, InitPattern::kUniformRandom, coins);
@@ -100,9 +106,17 @@ int main(int argc, char** argv) {
             ++mismatches;
         }
       }
-      table.add_cell(std::to_string(rounds) + " rounds, " + std::to_string(mismatches) +
-                     " mism");
+      row.stoneage18 = std::to_string(rounds) + " rounds, " +
+                       std::to_string(mismatches) + " mism";
     }
+    return row;
+  });
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    table.begin_row();
+    table.add_cell(suite[i].name);
+    table.add_cell(row_cells[i].beeping);
+    table.add_cell(row_cells[i].stoneage);
+    table.add_cell(row_cells[i].stoneage18);
   }
   table.print(std::cout);
 

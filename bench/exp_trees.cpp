@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + static_cast<std::uint64_t>(n) * 7;
       config.max_rounds = 1000000;
+      ctx.apply_parallel(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(g.num_vertices());
       table.begin_row();

@@ -7,6 +7,9 @@
 //           torus, hypercube, regular, geometric, cliques, smallworld
 // Processes: 2state, 3state, 3color
 // Inits: all-white, all-black, random, alternating, high-degree, one-black
+// Parallel runtime: --threads N shards a single run's engine; with
+// --trials M > 1 whole runs batch across the pool instead (--shard to
+// force per-run sharding). Results are identical at any thread count.
 #include <cmath>
 #include <fstream>
 #include <iostream>
@@ -86,15 +89,37 @@ int main(int argc, char** argv) {
     const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
     const Graph g = make_graph(args, seed);
+    const ParallelOptions parallel = parse_parallel_options(args);
     MeasureConfig config;
     config.kind = parse_process(args.get_string("process", "2state"));
     config.init = parse_init(args.get_string("init", "random"));
     config.seed = seed;
     config.max_rounds = args.get_int("max-rounds", 1000000);
+    // A single traced run shards its engine; --trials N > 1 batches whole
+    // runs across the pool instead and reports the spread.
+    config.threads = parallel.threads;
+    config.batch = parallel.batch;
+    config.trials = static_cast<int>(args.get_int("trials", 1));
 
     std::cout << "graph:   " << g.summary() << "\n";
     std::cout << "process: " << to_string(config.kind)
               << ", init: " << to_string(config.init) << ", seed: " << seed << "\n";
+    if (parallel.threads > 1) {
+      std::cout << "threads: " << parallel.threads << " ("
+                << (parallel.batch ? "batched trials" : "sharded stepping") << ")\n";
+    }
+
+    if (config.trials > 1) {
+      const Measurements m = measure_stabilization(g, config);
+      std::cout << "trials:  " << config.trials << " (seeds " << seed << ".."
+                << seed + static_cast<std::uint64_t>(config.trials) - 1 << ")\n";
+      std::cout << "result:  " << m.summary.count << " stabilized, " << m.timeouts
+                << " timeouts; rounds mean " << m.summary.mean << ", p95 "
+                << m.summary.p95 << ", max " << m.summary.max << "\n";
+      for (std::uint64_t s : m.timeout_seeds)
+        std::cout << "timeout: re-run with --seed=" << s << " --trials=1\n";
+      return m.timeouts == 0 ? 0 : 1;
+    }
 
     const RunResult r = traced_run(g, config);
     std::cout << "result:  " << (r.stabilized ? "stabilized" : "HORIZON HIT")

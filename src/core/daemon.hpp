@@ -124,6 +124,12 @@ class DaemonMIS {
   // Runs until stabilized or `max_steps`; returns steps used.
   std::int64_t run(std::int64_t max_steps);
 
+  // Shards the subset-transition computation across the shared thread pool
+  // (bit-identical trajectories at any value; 1 = sequential). The daemon's
+  // own choice of subset stays sequential — only the chosen vertices'
+  // simultaneous coin flips fan out.
+  void set_shards(int shards) { engine_.set_shards(shards); }
+
   const Engine& engine() const { return engine_; }
 
  private:

@@ -28,8 +28,14 @@
 // same coins, in any iteration order. The differential tests assert this
 // round-by-round against the naive transcriptions of Definitions 4, 5, 26
 // and 28.
+//
+// The same purity makes the decide phase shardable: set_shards(s) fans the
+// worklist out across the shared worker pool and merges per-shard change
+// lists in shard order, keeping trajectories bit-identical at any shard
+// count (docs/architecture.md, "Parallel runtime").
 #pragma once
 
+#include <algorithm>
 #include <concepts>
 #include <cstdint>
 #include <span>
@@ -37,6 +43,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/thread_pool.hpp"
 
 namespace ssmis {
 
@@ -109,6 +116,8 @@ class ProcessEngine {
   using Color = typename Rule::Color;
   static constexpr bool kTracksStability = Rule::kTracksStability;
   static constexpr int kMaxCounters = 32;
+  // Minimum worklist items a shard must get before fan-out pays for itself.
+  static constexpr std::size_t kShardGrain = 256;
 
   // `init` must have size g.num_vertices() and only colors with raw value
   // below rule.num_colors(); the graph must outlive the engine. Throws
@@ -137,9 +146,17 @@ class ProcessEngine {
   // One synchronous round: every scheduled vertex transitions against the
   // frozen end-of-round state; counters, worklist, and aggregates are
   // patched in O(|A_t| + sum deg(changed)). Advances round() by one.
+  //
+  // With set_shards(s > 1) the decide phase is partitioned into contiguous
+  // slices of the worklist and run on the shared thread pool; the per-shard
+  // change lists are merged in shard order, which reproduces the sequential
+  // change order exactly, so the whole trajectory — colors, counters,
+  // worklist contents and internal ordering, aggregates — is bit-identical
+  // to a sequential run (transitions are pure functions of their arguments
+  // and the counter-based coins; see docs/architecture.md).
   void step() {
     const std::int64_t t = round_ + 1;
-    decide(worklist_.items(), t, /*validate=*/false);
+    decide(worklist_.items(), t);
     apply();
     if constexpr (requires(Rule& r) { r.end_round(t); }) rule_.end_round(t);
     ++round_;
@@ -151,9 +168,36 @@ class ProcessEngine {
   // round() and does NOT run the rule's end-of-round hook; the caller owns
   // the schedule's notion of time. Duplicate entries are transitioned once.
   void apply_transitions(std::span<const Vertex> chosen, std::int64_t t) {
-    decide(chosen, t, /*validate=*/true);
+    // Validation + dedup stay sequential (which duplicate survives is
+    // bookkeeping order); the transition computation itself then shards.
+    ++stage_gen_;
+    chosen_unique_.clear();
+    for (Vertex u : chosen) {
+      if (u < 0 || u >= graph_->num_vertices() ||
+          (flags_[static_cast<std::size_t>(u)] & kScheduledBit) == 0)
+        throw std::logic_error(
+            "ProcessEngine: transition requested for a non-scheduled vertex");
+      const std::size_t su = static_cast<std::size_t>(u);
+      if (stage_mark_[su] == stage_gen_) continue;  // duplicate in `chosen`
+      stage_mark_[su] = stage_gen_;
+      chosen_unique_.push_back(u);
+    }
+    decide(chosen_unique_, t);
     apply();
   }
+
+  // --- parallelism ---------------------------------------------------------
+
+  // Shards the decide phase across the shared thread pool. `shards` <= 1
+  // (the default) keeps sequential stepping; any value yields bit-identical
+  // trajectories, so this is purely a throughput knob. Worklists below the
+  // per-shard grain run sequentially regardless (fan-out would cost more
+  // than the work).
+  void set_shards(int shards) {
+    shards_ = shards < 1 ? 1 : shards;
+    if (shards_ > 1) ThreadPool::shared().ensure_workers(shards_ - 1);
+  }
+  int shards() const { return shards_; }
 
   // Fault-injection / test hook: overwrite one vertex's color, keeping every
   // counter, worklist entry, and aggregate consistent in O(deg(u)). Counts
@@ -166,9 +210,7 @@ class ProcessEngine {
       throw std::invalid_argument("force_color: color out of range");
     if (colors_[static_cast<std::size_t>(u)] == c) return;
     changed_.clear();
-    ++stage_gen_;
     staged_[static_cast<std::size_t>(u)] = c;
-    stage_mark_[static_cast<std::size_t>(u)] = stage_gen_;
     changed_.push_back(u);
     apply();
   }
@@ -284,20 +326,16 @@ class ProcessEngine {
 
   static constexpr std::uint8_t raw(Color c) { return static_cast<std::uint8_t>(c); }
 
-  // Phase 1: compute next colors against the frozen state; stage changes.
-  template <typename Range>
-  void decide(const Range& range, std::int64_t t, bool validate) {
-    changed_.clear();
-    ++stage_gen_;
-    for (Vertex u : range) {
+  // Transition kernel: computes next colors for items[begin, end) against
+  // the frozen state, staging changes and appending changed vertices to
+  // `out`. Pure reads of colors_/counters_ plus writes to disjoint staged_
+  // slots (items are unique), so concurrent shards never touch the same
+  // memory. `items` must contain currently valid, duplicate-free vertices.
+  void transition_range(const Vertex* items, std::size_t begin, std::size_t end,
+                        std::int64_t t, std::vector<Vertex>& out) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Vertex u = items[i];
       const std::size_t su = static_cast<std::size_t>(u);
-      if (validate) {
-        if (u < 0 || u >= graph_->num_vertices() ||
-            (flags_[su] & kScheduledBit) == 0)
-          throw std::logic_error(
-              "ProcessEngine: transition requested for a non-scheduled vertex");
-        if (stage_mark_[su] == stage_gen_) continue;  // duplicate in `chosen`
-      }
       const Color next = rule_.transition(u, colors_[su], counters(u), t);
       if (next != colors_[su]) {
         // Guard the histogram/counter indexing against a buggy rule (user
@@ -305,10 +343,47 @@ class ProcessEngine {
         if (static_cast<int>(raw(next)) >= num_colors_)
           throw std::logic_error("ProcessEngine: rule produced a color out of range");
         staged_[su] = next;
-        stage_mark_[su] = stage_gen_;
-        changed_.push_back(u);
+        out.push_back(u);
       }
     }
+  }
+
+  // Phase 1: compute next colors against the frozen state; stage changes.
+  // Sequential by default; with shards > 1 the index range is cut into
+  // contiguous slices decided in parallel, and the per-shard change lists
+  // are concatenated in shard order — exactly the sequential change order.
+  void decide(const std::vector<Vertex>& items, std::int64_t t) {
+    changed_.clear();
+    const std::size_t n = items.size();
+    const int s = effective_shards(n);
+    if (s <= 1) {
+      transition_range(items.data(), 0, n, t, changed_);
+      return;
+    }
+    shard_changed_.resize(static_cast<std::size_t>(s));
+    ThreadPool::shared().parallel_for(s, shards_, [&](int i) {
+      const std::size_t b = n * static_cast<std::size_t>(i) /
+                            static_cast<std::size_t>(s);
+      const std::size_t e = n * (static_cast<std::size_t>(i) + 1) /
+                            static_cast<std::size_t>(s);
+      std::vector<Vertex>& out = shard_changed_[static_cast<std::size_t>(i)];
+      out.clear();
+      transition_range(items.data(), b, e, t, out);
+    });
+    for (int i = 0; i < s; ++i) {
+      const std::vector<Vertex>& part = shard_changed_[static_cast<std::size_t>(i)];
+      changed_.insert(changed_.end(), part.begin(), part.end());
+    }
+  }
+
+  // How many shards this decide pass actually uses: never more than the
+  // configured budget, and never so many that a shard falls below the grain
+  // (fan-out overhead would dominate the coin flips it buys).
+  int effective_shards(std::size_t items) const {
+    if (shards_ <= 1 || items < 2 * kShardGrain) return 1;
+    const std::size_t cap = items / kShardGrain;
+    return static_cast<int>(
+        std::min<std::size_t>(static_cast<std::size_t>(shards_), cap));
   }
 
   // Phase 2: commit staged colors, patch counters of N(changed), and
@@ -463,14 +538,18 @@ class ProcessEngine {
 
   // Scratch for decide/apply (generation-marked to avoid per-round clears;
   // 64-bit so the marks cannot wrap and collide within any feasible run).
+  // stage_mark_ backs only apply_transitions's duplicate detection.
   std::vector<Color> staged_;
   std::vector<std::uint64_t> stage_mark_;
   std::vector<Vertex> changed_;
+  std::vector<Vertex> chosen_unique_;
+  std::vector<std::vector<Vertex>> shard_changed_;
   std::vector<std::uint64_t> touch_mark_;
   std::vector<Vertex> touched_;
   std::uint64_t stage_gen_ = 0;
   std::uint64_t touch_gen_ = 0;
 
+  int shards_ = 1;
   std::int64_t round_ = 0;
   int k_ = 0;
   int num_colors_ = 0;

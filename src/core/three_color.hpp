@@ -146,6 +146,11 @@ class ThreeColorMIS {
   // full O(n + m) counter rebuild).
   void force_color(Vertex u, ColorG c) { engine_.force_color(u, c); }
 
+  // Shards the decide phase across the shared thread pool (bit-identical
+  // trajectories at any value; 1 = sequential). The switch still advances
+  // in the sequential end-of-round hook, after decided colors commit.
+  void set_shards(int shards) { engine_.set_shards(shards); }
+
   const Engine& engine() const { return engine_; }
 
  private:

@@ -129,6 +129,10 @@ class ThreeStateMIS {
   // full O(n + m) counter rebuild).
   void force_color(Vertex u, Color3 c) { engine_.force_color(u, c); }
 
+  // Shards the decide phase across the shared thread pool (bit-identical
+  // trajectories at any value; 1 = sequential).
+  void set_shards(int shards) { engine_.set_shards(shards); }
+
   const Engine& engine() const { return engine_; }
 
  private:

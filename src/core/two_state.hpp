@@ -108,6 +108,10 @@ class TwoStateMIS {
   // internal counters consistent. Counts as a transient fault, not a round.
   void force_color(Vertex u, Color2 c) { engine_.force_color(u, c); }
 
+  // Shards the decide phase across the shared thread pool (bit-identical
+  // trajectories at any value; 1 = sequential).
+  void set_shards(int shards) { engine_.set_shards(shards); }
+
   const CoinOracle& coins() const { return engine_.rule().coins(); }
 
   const Engine& engine() const { return engine_; }

@@ -104,6 +104,10 @@ class TwoStateVariant {
   double black_bias() const { return engine_.rule().black_bias(); }
   bool eager_white() const { return engine_.rule().eager_white(); }
 
+  // Shards the decide phase across the shared thread pool (bit-identical
+  // trajectories at any value; 1 = sequential).
+  void set_shards(int shards) { engine_.set_shards(shards); }
+
   const Engine& engine() const { return engine_; }
 
  private:

@@ -7,6 +7,7 @@
 #include "core/three_state.hpp"
 #include "core/two_state.hpp"
 #include "core/verify.hpp"
+#include "harness/trial_batch.hpp"
 
 namespace ssmis {
 
@@ -30,47 +31,72 @@ RunResult run_and_check(const Graph& g, P& process, std::int64_t max_rounds,
   return result;
 }
 
+// One trial: construct the process for `seed`, shard its engine `shards`
+// ways (1 = sequential), run to stabilization or the horizon. Thread-safe
+// across concurrent calls with distinct seeds: the graph is read-only and
+// every process owns its state.
 RunResult run_one(const Graph& g, const MeasureConfig& config, std::uint64_t seed,
-                  TraceMode mode) {
+                  TraceMode mode, int shards) {
   const CoinOracle coins(seed);
   switch (config.kind) {
     case ProcessKind::kTwoState: {
       TwoStateMIS process(g, make_init2(g, config.init, coins), coins);
+      process.set_shards(shards);
       return run_and_check(g, process, config.max_rounds, mode);
     }
     case ProcessKind::kThreeState: {
       ThreeStateMIS process(g, make_init3(g, config.init, coins), coins);
+      process.set_shards(shards);
       return run_and_check(g, process, config.max_rounds, mode);
     }
     case ProcessKind::kThreeColor: {
       ThreeColorMIS process = ThreeColorMIS::with_randomized_switch(
           g, make_init_g(g, config.init, coins), coins);
+      process.set_shards(shards);
       return run_and_check(g, process, config.max_rounds, mode);
     }
   }
   throw std::logic_error("experiment: unknown process kind");
 }
 
+// Batched trials shard nothing (one core per trial); sharded mode gives the
+// whole budget to each trial in turn.
+int shards_per_trial(const MeasureConfig& config) {
+  return config.batch ? 1 : config.threads;
+}
+
 }  // namespace
 
 Measurements measure_stabilization(const Graph& g, const MeasureConfig& config) {
-  Measurements out;
-  for (int trial = 0; trial < config.trials; ++trial) {
+  struct Outcome {
+    std::int64_t rounds = 0;
+    bool stabilized = false;
+  };
+  const TrialBatch batch(config.trials, config.batch ? config.threads : 1);
+  const int shards = shards_per_trial(config);
+  std::vector<Outcome> outcomes(static_cast<std::size_t>(batch.trials()));
+  batch.run([&](int trial) {
     const RunResult result =
-        run_one(g, config, config.seed + static_cast<std::uint64_t>(trial),
-                TraceMode::kNone);
-    if (result.stabilized) {
-      out.stabilization_rounds.push_back(static_cast<double>(result.rounds));
+        run_one(g, config, trial_seed(config, trial), TraceMode::kNone, shards);
+    outcomes[static_cast<std::size_t>(trial)] = {result.rounds, result.stabilized};
+  });
+  // Index-order reduce: the reported sequences match a sequential run.
+  Measurements out;
+  for (int trial = 0; trial < batch.trials(); ++trial) {
+    const Outcome& o = outcomes[static_cast<std::size_t>(trial)];
+    if (o.stabilized) {
+      out.stabilization_rounds.push_back(static_cast<double>(o.rounds));
     } else {
-      ++out.timeouts;
+      out.timeout_seeds.push_back(trial_seed(config, trial));
     }
   }
+  out.timeouts = static_cast<int>(out.timeout_seeds.size());
   out.summary = summarize(out.stabilization_rounds);
   return out;
 }
 
 RunResult traced_run(const Graph& g, const MeasureConfig& config) {
-  return run_one(g, config, config.seed, TraceMode::kPerRound);
+  return run_one(g, config, config.seed, TraceMode::kPerRound, config.threads);
 }
 
 namespace {
@@ -105,27 +131,45 @@ std::vector<std::int64_t> per_vertex_times(const Graph& g, Process& process,
   return times;
 }
 
-}  // namespace
-
-std::vector<std::int64_t> vertex_stabilization_times(const Graph& g,
-                                                     const MeasureConfig& config) {
-  const CoinOracle coins(config.seed);
+std::vector<std::int64_t> per_vertex_times_one(const Graph& g,
+                                               const MeasureConfig& config,
+                                               std::uint64_t seed, int shards) {
+  const CoinOracle coins(seed);
   switch (config.kind) {
     case ProcessKind::kTwoState: {
       TwoStateMIS process(g, make_init2(g, config.init, coins), coins);
+      process.set_shards(shards);
       return per_vertex_times(g, process, config.max_rounds);
     }
     case ProcessKind::kThreeState: {
       ThreeStateMIS process(g, make_init3(g, config.init, coins), coins);
+      process.set_shards(shards);
       return per_vertex_times(g, process, config.max_rounds);
     }
     case ProcessKind::kThreeColor: {
       ThreeColorMIS process = ThreeColorMIS::with_randomized_switch(
           g, make_init_g(g, config.init, coins), coins);
+      process.set_shards(shards);
       return per_vertex_times(g, process, config.max_rounds);
     }
   }
   throw std::logic_error("vertex_stabilization_times: unknown process kind");
+}
+
+}  // namespace
+
+std::vector<std::int64_t> vertex_stabilization_times(const Graph& g,
+                                                     const MeasureConfig& config) {
+  return per_vertex_times_one(g, config, config.seed, config.threads);
+}
+
+std::vector<std::vector<std::int64_t>> vertex_stabilization_times_batch(
+    const Graph& g, const MeasureConfig& config) {
+  const TrialBatch batch(config.trials, config.batch ? config.threads : 1);
+  const int shards = shards_per_trial(config);
+  return batch.map<std::vector<std::int64_t>>([&](int trial) {
+    return per_vertex_times_one(g, config, trial_seed(config, trial), shards);
+  });
 }
 
 }  // namespace ssmis

@@ -1,6 +1,6 @@
 // Shared experiment driver: every bench binary measures stabilization times
-// through this module so trials, seeds, initial patterns, and timeout
-// handling are uniform across the reproduction tables.
+// through this module so trials, seeds, initial patterns, timeout handling,
+// and the parallel runtime are uniform across the reproduction tables.
 #pragma once
 
 #include <cstdint>
@@ -24,21 +24,41 @@ struct MeasureConfig {
   int trials = 20;
   std::uint64_t seed = 1;
   std::int64_t max_rounds = 1000000;
+  // Parallel runtime (defaults keep the old sequential behavior). With
+  // threads > 1 and batch == true, whole trials interleave across the
+  // shared thread pool (TrialBatch); with batch == false, trials run in
+  // index order and each trial's engine decide phase is sharded `threads`
+  // ways instead. Either way results are bit-identical to threads == 1 —
+  // see docs/architecture.md ("Parallel runtime") for when each wins.
+  int threads = 1;
+  bool batch = true;
 };
+
+// Seed of trial i under the seed-assignment contract: base seed + i,
+// independent of thread count and scheduling order.
+inline std::uint64_t trial_seed(const MeasureConfig& config, int trial) {
+  return config.seed + static_cast<std::uint64_t>(trial);
+}
 
 struct Measurements {
   std::vector<double> stabilization_rounds;  // one entry per stabilized trial
-  int timeouts = 0;                          // trials that hit max_rounds
-  Summary summary;                           // over stabilization_rounds
+  // Seed of every trial that hit max_rounds, in trial order: a parallel run
+  // that times out is reproduced by re-running that one seed sequentially.
+  std::vector<std::uint64_t> timeout_seeds;
+  int timeouts = 0;  // == timeout_seeds.size(), kept for existing consumers
+  Summary summary;   // over stabilization_rounds
 };
 
 // Runs `config.trials` independent executions of the chosen process on `g`
 // (seeds seed, seed+1, ...), each from `config.init` states, and verifies
 // that every stabilized run's black set is an MIS (aborts via exception if
-// not — the harness never reports an invalid "success").
+// not — the harness never reports an invalid "success"). Trials are
+// scheduled over TrialBatch per config.threads/config.batch; the returned
+// Measurements are identical for every thread count.
 Measurements measure_stabilization(const Graph& g, const MeasureConfig& config);
 
-// Single traced run, for shape plots.
+// Single traced run, for shape plots. config.threads > 1 shards the
+// engine's decide phase (config.batch is irrelevant for one run).
 RunResult traced_run(const Graph& g, const MeasureConfig& config);
 
 // Per-vertex stabilization times of one run: entry u is the first round at
@@ -48,5 +68,11 @@ RunResult traced_run(const Graph& g, const MeasureConfig& config);
 // convergence experiment: most vertices settle long before the last one.
 std::vector<std::int64_t> vertex_stabilization_times(const Graph& g,
                                                      const MeasureConfig& config);
+
+// Batched variant: one per-vertex time vector per trial, for seeds
+// seed..seed+trials-1, trials interleaved across config.threads. Entry i
+// equals vertex_stabilization_times with seed+i, for any thread count.
+std::vector<std::vector<std::int64_t>> vertex_stabilization_times_batch(
+    const Graph& g, const MeasureConfig& config);
 
 }  // namespace ssmis

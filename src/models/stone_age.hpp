@@ -118,6 +118,10 @@ class StoneAgeNetwork {
 
   const Graph& graph() const { return engine_.graph(); }
 
+  // Shards the decide phase across the shared thread pool (bit-identical
+  // executions at any value; 1 = sequential).
+  void set_shards(int shards) { engine_.set_shards(shards); }
+
   const Engine& engine() const { return engine_; }
 
  private:

@@ -2,6 +2,7 @@
 
 #include <charconv>
 #include <cstdlib>
+#include <thread>
 
 namespace ssmis {
 
@@ -82,6 +83,19 @@ bool CliArgs::get_bool(const std::string& name, bool fallback) const {
 
 bool CliArgs::has(const std::string& name) const {
   return options_.count(name) > 0;
+}
+
+ParallelOptions parse_parallel_options(const CliArgs& args) {
+  ParallelOptions out;
+  out.threads = static_cast<int>(args.get_int("threads", 1));
+  if (out.threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    out.threads = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  if (out.threads < 1) out.threads = 1;
+  // --shard is shorthand for --batch=0; an explicit --batch value wins.
+  out.batch = args.get_bool("batch", !args.get_bool("shard", false));
+  return out;
 }
 
 }  // namespace ssmis

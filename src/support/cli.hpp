@@ -13,6 +13,21 @@
 
 namespace ssmis {
 
+// Shared parallel-runtime knobs, parsed uniformly by every experiment and
+// example binary:
+//   --threads N   parallelism budget (1 = sequential, the default;
+//                 0 = hardware concurrency)
+//   --batch[=0|1] with N > 1: interleave whole trials across the pool
+//                 (default) vs. --batch=0 / --shard: run trials in order,
+//                 sharding each engine's decide phase N ways
+// Both modes are bit-identical to sequential; see docs/architecture.md.
+struct ParallelOptions {
+  int threads = 1;
+  bool batch = true;
+};
+
+ParallelOptions parse_parallel_options(const class CliArgs& args);
+
 // Parsed view of argv. Values are stored as strings and converted on access.
 class CliArgs {
  public:
