@@ -5,9 +5,13 @@
 
 #include <cmath>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "graph/ssg.hpp"
 #include "harness/experiment.hpp"
+#include "harness/suites.hpp"
 #include "harness/trial_batch.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
@@ -20,6 +24,11 @@ struct ExpContext {
   std::uint64_t seed;
   double scale;  // multiplies default problem sizes (--scale=2 for bigger runs)
   ParallelOptions parallel;  // --threads / --batch, shared across all binaries
+  // --graph-file=path: a pre-built graph (`.ssg` binary, mmap'd read-only by
+  // default, or whitespace edge list) substituted for *every* generated cell
+  // graph, so one expensive 10^7-vertex construction is reused across all
+  // experiment binaries. Copies share the underlying CSR storage.
+  std::optional<Graph> graph_override;
 
   // Copies the parallel-runtime knobs into a measurement config (the
   // experiment keeps setting trials/seed itself — cells offset seeds).
@@ -36,10 +45,40 @@ struct ExpContext {
 
   // Engine shard budget for a single run driven directly by the binary.
   int shards() const { return parallel.batch ? 1 : parallel.threads; }
+
+  // The graph for one experiment cell: the --graph-file override when given,
+  // otherwise whatever `make` generates. Returning by value is cheap either
+  // way — Graph is a shared-storage handle.
+  template <typename MakeGraph>
+  Graph cell_graph(MakeGraph&& make) const {
+    if (graph_override) return *graph_override;
+    return std::forward<MakeGraph>(make)();
+  }
+
+  // Named-suite variant for the cross-cutting binaries: --graph-file
+  // collapses the whole suite to the one externally supplied graph. Like
+  // cell_graph, the fallback is a factory so overridden runs never pay for
+  // generating suite graphs they will discard.
+  template <typename MakeSuite>
+  std::vector<NamedGraph> suite_or(MakeSuite&& make) const {
+    if (graph_override) return {{"graph-file", *graph_override}};
+    return std::forward<MakeSuite>(make)();
+  }
 };
 
+// How a binary treats --graph-file:
+//   kLoad   (default) load it eagerly into ctx.graph_override;
+//   kRefuse reject it up front with a note, before the (possibly
+//           multi-hundred-MB) file is read — for binaries whose cells must
+//           be fresh distribution draws (exp_good_graph);
+//   kDefer  leave loading (and its timing) to the binary itself (exp_scale
+//           measures the load as a pipeline stage).
+enum class GraphFilePolicy { kLoad, kRefuse, kDefer };
+
 inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
-                                  const std::string& claim, int default_trials) {
+                                  const std::string& claim, int default_trials,
+                                  GraphFilePolicy graph_file_policy =
+                                      GraphFilePolicy::kLoad) {
   ExpContext ctx;
   ctx.args = CliArgs::parse(argc, argv);
   ctx.trials = static_cast<int>(ctx.args.get_int("trials", default_trials));
@@ -49,6 +88,23 @@ inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
   std::cout << "#### Experiment " << id << "\n";
   std::cout << "# paper claim: " << claim << "\n";
   std::cout << "# trials/cell: " << ctx.trials << ", seed: " << ctx.seed << "\n";
+  if (ctx.args.has("graph-file")) {
+    switch (graph_file_policy) {
+      case GraphFilePolicy::kLoad:
+        ctx.graph_override = io::load_graph_file_from_args(ctx.args);
+        std::cout << "# graph-file: " << ctx.args.get_string("graph-file", "")
+                  << " -> " << ctx.graph_override->summary()
+                  << (ctx.graph_override->is_mapped() ? " (mmap)" : "")
+                  << "; overrides every generated cell graph\n";
+        break;
+      case GraphFilePolicy::kRefuse:
+        std::cout << "# note: --graph-file ignored — this experiment samples a "
+                     "graph distribution, a fixed graph cannot stand in for it\n";
+        break;
+      case GraphFilePolicy::kDefer:
+        break;  // the binary loads (and times) the file itself
+    }
+  }
   if (ctx.parallel.threads > 1) {
     // Single-run tables shard the engine even in the default batch mode —
     // the banner states the policy, not a per-table claim.

@@ -12,10 +12,12 @@
 //     receipt (per-round cost tracks |A_t|, not n, so the 2-state rows stay
 //     flat as n quadruples).
 #include <benchmark/benchmark.h>
+#include <unistd.h>
 
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -31,7 +33,9 @@
 #include "core/two_state_variant.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "graph/ssg.hpp"
 #include "rng/coin_oracle.hpp"
+#include "support/resource.hpp"
 
 namespace ssmis {
 namespace {
@@ -172,7 +176,8 @@ BENCHMARK(BM_CoinOracleWord);
 struct EngineBenchRow {
   std::string process;
   std::string graph;
-  std::string phase;  // "full_run", "stabilized_step", "sharded_step", "trial_batch"
+  std::string phase;  // "full_run", "stabilized_step", "sharded_step",
+                      // "trial_batch", "graph_build"
   Vertex n = 0;
   std::int64_t m = 0;
   bool trace = false;
@@ -181,6 +186,8 @@ struct EngineBenchRow {
   int threads = 1;               // shard / batch width for the parallel rows
   double trials_per_sec = 0.0;   // trial_batch rows only
   std::int64_t trials_ok = 0;    // trial_batch rows only: stabilized trials
+  double edges_per_sec = 0.0;    // graph_build rows only
+  double peak_rss_mb = 0.0;      // graph_build rows only: process high-water mark
 };
 
 using Clock = std::chrono::steady_clock;
@@ -297,6 +304,50 @@ void append_trial_batch_rows(std::vector<EngineBenchRow>& rows) {
   }
 }
 
+// Graph-substrate rows: streaming construction throughput (edges/sec) and
+// the process's peak RSS after each build, plus the `.ssg` save -> mmap
+// round-trip. peak_rss_mb is a lifetime high-water mark — compare rows
+// within one emission run in order, not across runs.
+void append_graph_build_rows(std::vector<EngineBenchRow>& rows) {
+  // Per-process scratch dir: concurrent bench runs on one host must not
+  // race on the round-trip files.
+  const std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("ssmis_bench_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  for (Vertex n : {1 << 18, 1 << 20}) {
+    const double p = 8.0 / static_cast<double>(n);
+    const auto start = Clock::now();
+    const Graph g = gen::gnp(n, p, 7);
+    const double ns = elapsed_ns(start);
+    EngineBenchRow row;
+    row.process = "csr_builder";
+    row.graph = "gnp_avgdeg8_n" + std::to_string(n);
+    row.phase = "graph_build";
+    row.n = n;
+    row.m = g.num_edges();
+    row.edges_per_sec = static_cast<double>(g.num_edges()) * 1e9 / ns;
+    row.peak_rss_mb = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+    rows.push_back(row);
+
+    const std::string path = (dir / ("n" + std::to_string(n) + ".ssg")).string();
+    const auto save_start = Clock::now();
+    io::save_ssg(path, g);
+    const Graph mapped = io::mmap_ssg(path);
+    const double rt_ns = elapsed_ns(save_start);
+    EngineBenchRow rt;
+    rt.process = "ssg_save_mmap";
+    rt.graph = row.graph;
+    rt.phase = "graph_build";
+    rt.n = n;
+    rt.m = mapped.num_edges();
+    rt.edges_per_sec = static_cast<double>(mapped.num_edges()) * 1e9 / rt_ns;
+    rt.peak_rss_mb = static_cast<double>(peak_rss_bytes()) / (1024.0 * 1024.0);
+    rows.push_back(rt);
+  }
+  std::filesystem::remove_all(dir);
+}
+
 void append_process_rows(std::vector<EngineBenchRow>& rows, const std::string& gname,
                          const Graph& g) {
   const CoinOracle coins(1);
@@ -369,6 +420,8 @@ void write_engine_json(const std::string& path) {
   // host every width measures ~1x by physics, not by design.
   append_sharded_rows(rows);
   append_trial_batch_rows(rows);
+  // Graph-substrate rows: streaming build throughput + .ssg round-trip.
+  append_graph_build_rows(rows);
 
   std::ofstream out(path);
   if (!out) {
@@ -376,10 +429,12 @@ void write_engine_json(const std::string& path) {
     std::exit(1);
   }
   out << "{\n";
-  out << "  \"schema\": \"ssmis-bench-engine-v2\",\n";
+  out << "  \"schema\": \"ssmis-bench-engine-v3\",\n";
   out << "  \"description\": \"per-round stepping cost of the unified sparse "
-         "process engine, plus parallel-runtime rows (sharded_step ns/round "
-         "and trial_batch trials/sec at 1/2/4/8 threads)\",\n";
+         "process engine, parallel-runtime rows (sharded_step ns/round "
+         "and trial_batch trials/sec at 1/2/4/8 threads), and graph-substrate "
+         "rows (graph_build edges/sec + peak RSS for the streaming CSR "
+         "builder and the .ssg save/mmap round-trip)\",\n";
   out << "  \"unit\": \"ns_per_round\",\n";
   out << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
   out << "  \"rows\": [\n";
@@ -393,6 +448,9 @@ void write_engine_json(const std::string& path) {
     if (r.phase == "trial_batch")
       out << ", \"trials_ok\": " << r.trials_ok
           << ", \"trials_per_sec\": " << r.trials_per_sec;
+    if (r.phase == "graph_build")
+      out << ", \"edges_per_sec\": " << r.edges_per_sec
+          << ", \"peak_rss_mb\": " << r.peak_rss_mb;
     out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";

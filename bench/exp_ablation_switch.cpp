@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   {
     TextTable table({"D", "states", "on-levels", "max-off", "min-off", "max-on"});
     for (int d : {2, 3, 4}) {
-      const Graph g = gen::complete(64);
+      const Graph g = ctx.cell_graph([&] { return gen::complete(64); });
       PhaseClockSwitch sw(g, d, CoinOracle(ctx.seed + static_cast<std::uint64_t>(d)));
       const auto stats = measure_switch_runs(sw, 64, 20000, 50);
       table.begin_row();
@@ -50,9 +50,9 @@ int main(int argc, char** argv) {
   {
     struct Workload { std::string name; Graph graph; };
     std::vector<Workload> workloads;
-    workloads.push_back({"K_128", gen::complete(128)});
-    workloads.push_back({"gnp256 p=0.25", gen::gnp(256, 0.25, ctx.seed + 3)});
-    workloads.push_back({"gnp512 p=n^-0.25", gen::gnp(512, std::pow(512.0, -0.25), ctx.seed + 4)});
+    workloads.push_back({"K_128", ctx.cell_graph([&] { return gen::complete(128); })});
+    workloads.push_back({"gnp256 p=0.25", ctx.cell_graph([&] { return gen::gnp(256, 0.25, ctx.seed + 3); })});
+    workloads.push_back({"gnp512 p=n^-0.25", ctx.cell_graph([&] { return gen::gnp(512, std::pow(512.0, -0.25), ctx.seed + 4); })});
     TextTable table({"graph", "D=2", "D=3 (paper)", "D=4"});
     for (auto& w : workloads) {
       table.begin_row();

@@ -55,9 +55,9 @@ int main(int argc, char** argv) {
 
   struct Workload { std::string name; Graph graph; };
   std::vector<Workload> workloads;
-  workloads.push_back({"K_256", gen::complete(256)});
-  workloads.push_back({"gnp1024 p=0.01", gen::gnp(1024, 0.01, ctx.seed)});
-  workloads.push_back({"tree4096", gen::random_tree(4096, ctx.seed + 1)});
+  workloads.push_back({"K_256", ctx.cell_graph([&] { return gen::complete(256); })});
+  workloads.push_back({"gnp1024 p=0.01", ctx.cell_graph([&] { return gen::gnp(1024, 0.01, ctx.seed); })});
+  workloads.push_back({"tree4096", ctx.cell_graph([&] { return gen::random_tree(4096, ctx.seed + 1); })});
 
   for (auto& w : workloads) {
     print_banner(std::cout, "resample bias sweep on " + w.name);

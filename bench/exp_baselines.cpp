@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
       "self-stabilizing, constant-state, and round-efficient",
       10);
 
-  const auto suite = small_suite(ctx.seed);
+  const auto suite = ctx.suite_or([&] { return small_suite(ctx.seed); });
 
   print_banner(std::cout, "rounds to MIS, clean start (mean over trials)");
   {
@@ -102,6 +102,8 @@ int main(int argc, char** argv) {
   {
     TextTable table({"graph", "start", "rounds simulated", "still enabled?"});
     struct Demo { std::string graph_name; Graph graph; };
+    // Illustrative micro-demos: intentionally NOT overridden by --graph-file
+    // (1000 dense deterministic rounds on a 10^7-vertex graph is not a demo).
     for (auto& demo : {Demo{"K_2", gen::complete(2)}, Demo{"C_6", gen::cycle(6)},
                        Demo{"K_8", gen::complete(8)}}) {
       SequentialMIS p(demo.graph,

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     TextTable table({"n", "mean", "median", "p95", "max", "mean/log2(n)",
                      "p95/log2(n)", "p95/log2^2(n)"});
     for (Vertex n : sizes) {
-      const Graph g = gen::complete(static_cast<Vertex>(n * ctx.scale));
+      const Graph g = ctx.cell_graph([&] { return gen::complete(static_cast<Vertex>(n * ctx.scale)); });
       MeasureConfig config;
       config.kind = kind;
       config.trials = ctx.trials;
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
   // Tail table (Theorem 8's 2^{-Theta(k)} lower-order statement).
   print_banner(std::cout, "tail of T / log2(n) on K_256, 2-state");
   {
-    const Graph g = gen::complete(256);
+    const Graph g = ctx.cell_graph([&] { return gen::complete(256); });
     MeasureConfig config;
     config.trials = std::max(200, ctx.trials * 4);
     config.seed = ctx.seed + 999;

@@ -82,9 +82,9 @@ int main(int argc, char** argv) {
 
   struct Workload { std::string name; Graph graph; };
   std::vector<Workload> workloads;
-  workloads.push_back({"K_64", gen::complete(64)});
-  workloads.push_back({"gnp256 p=0.05", gen::gnp(256, 0.05, ctx.seed)});
-  workloads.push_back({"tree512", gen::random_tree(512, ctx.seed + 1)});
+  workloads.push_back({"K_64", ctx.cell_graph([&] { return gen::complete(64); })});
+  workloads.push_back({"gnp256 p=0.05", ctx.cell_graph([&] { return gen::gnp(256, 0.05, ctx.seed); })});
+  workloads.push_back({"tree512", ctx.cell_graph([&] { return gen::random_tree(512, ctx.seed + 1); })});
 
   for (auto& w : workloads) {
     print_banner(std::cout, "daemon spectrum on " + w.name);

@@ -22,7 +22,7 @@ int main(int argc, char** argv) {
   TextTable table({"n", "side", "mean", "p95", "mean/log2(n)", "mean/log2^2(n)"});
   for (Vertex side : {8, 16, 24, 32, 48, 64}) {
     const Vertex n = side * side;
-    const Graph g = gen::disjoint_cliques(side, side);
+    const Graph g = ctx.cell_graph([&] { return gen::disjoint_cliques(side, side); });
     MeasureConfig config;
     config.trials = ctx.trials;
     config.seed = ctx.seed + static_cast<std::uint64_t>(side);

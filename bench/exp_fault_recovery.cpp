@@ -71,9 +71,9 @@ int main(int argc, char** argv) {
       "time grows mildly with the corrupted fraction",
       10);
 
-  const Graph sparse = gen::gnp(512, 0.02, ctx.seed);
-  const Graph tree = gen::random_tree(1024, ctx.seed + 1);
-  const Graph dense = gen::gnp(256, 0.3, ctx.seed + 2);
+  const Graph sparse = ctx.cell_graph([&] { return gen::gnp(512, 0.02, ctx.seed); });
+  const Graph tree = ctx.cell_graph([&] { return gen::random_tree(1024, ctx.seed + 1); });
+  const Graph dense = ctx.cell_graph([&] { return gen::gnp(256, 0.3, ctx.seed + 2); });
 
   struct Workload {
     std::string name;

@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
     TextTable table({"n", "p", "mean", "p95", "p95/log2(n)", "p95/log2^2(n)"});
     for (Vertex n : {256, 512, 1024, 2048}) {
       const double p = regime.p_of(static_cast<double>(n));
-      const Graph g = gen::gnp(n, p, ctx.seed + static_cast<std::uint64_t>(n));
+      const Graph g = ctx.cell_graph([&] { return gen::gnp(n, p, ctx.seed + static_cast<std::uint64_t>(n)); });
       MeasureConfig config;
       config.trials = ctx.trials;
       config.seed = ctx.seed + 47 + static_cast<std::uint64_t>(n);

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
                    "3color mean", "3color p95", "3color/2state"});
   for (const Cell& cell : cells) {
     const double p = std::pow(static_cast<double>(cell.n), -cell.exponent);
-    const Graph g = gen::gnp(cell.n, p, ctx.seed + static_cast<std::uint64_t>(cell.n));
+    const Graph g = ctx.cell_graph([&] { return gen::gnp(cell.n, p, ctx.seed + static_cast<std::uint64_t>(cell.n)); });
 
     MeasureConfig c2;
     c2.kind = ProcessKind::kTwoState;

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "Lemma 6 on K_{k+1} (all-black start, vertex 0 tracked)");
   TextTable table({"k", "rounds", "measured P", "bound 1/(2ek)", "ratio"});
   for (Vertex k : {1, 2, 4, 8, 16, 32}) {
-    const Graph g = gen::complete(k + 1);
+    const Graph g = ctx.cell_graph([&] { return gen::complete(k + 1); });
     const auto rounds = static_cast<std::int64_t>(std::ceil(std::log2(k + 1.0)));
     const auto hit = ctx.trial_batch(trials).map<char>([&](int trial) -> char {
       TwoStateMIS p(g,
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
   TextTable t7({"k (=l-1)", "rounds", "measured P", "bound (1/5)min{1,l/(2k)}", "ratio"});
   for (Vertex k : {1, 2, 4, 8, 16, 32}) {
     const Vertex l = k + 1;  // all clique vertices tracked
-    const Graph g = gen::complete(l);
+    const Graph g = ctx.cell_graph([&] { return gen::complete(l); });
     const auto rounds = static_cast<std::int64_t>(std::ceil(std::log2(k + 1.0)));
     const auto hit = ctx.trial_batch(trials).map<char>([&](int trial) -> char {
       TwoStateMIS p(g, std::vector<Color2>(static_cast<std::size_t>(l), Color2::kBlack),

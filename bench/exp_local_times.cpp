@@ -25,10 +25,10 @@ int main(int argc, char** argv) {
 
   struct Cell { std::string name; Graph graph; };
   std::vector<Cell> cells;
-  cells.push_back({"gnp4096 p=0.002", gen::gnp(4096, 0.002, ctx.seed)});
-  cells.push_back({"tree8192", gen::random_tree(8192, ctx.seed + 1)});
-  cells.push_back({"K_1024", gen::complete(1024)});
-  cells.push_back({"torus 48x48", gen::torus(48, 48)});
+  cells.push_back({"gnp4096 p=0.002", ctx.cell_graph([&] { return gen::gnp(4096, 0.002, ctx.seed); })});
+  cells.push_back({"tree8192", ctx.cell_graph([&] { return gen::random_tree(8192, ctx.seed + 1); })});
+  cells.push_back({"K_1024", ctx.cell_graph([&] { return gen::complete(1024); })});
+  cells.push_back({"torus 48x48", ctx.cell_graph([&] { return gen::torus(48, 48); })});
 
   print_banner(std::cout, "per-vertex stabilization times (2-state, one run each)");
   TextTable table({"graph", "n", "median", "p90", "p99", "max (=global)",
@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     config.seed = ctx.seed + 7;
     config.max_rounds = 1000000;
     ctx.apply_parallel(config);
-    const Graph g = gen::gnp(4096, 0.002, ctx.seed);
+    const Graph g = ctx.cell_graph([&] { return gen::gnp(4096, 0.002, ctx.seed); });
     const auto times = vertex_stabilization_times(g, config);
     std::vector<double> finite;
     for (std::int64_t t : times)

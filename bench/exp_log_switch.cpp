@@ -26,12 +26,12 @@ int main(int argc, char** argv) {
     Graph graph;
   };
   std::vector<Cell> cells;
-  cells.push_back({"K_64", gen::complete(64)});
-  cells.push_back({"star_64", gen::star(64)});
-  cells.push_back({"gnp_128_dense", gen::gnp(128, 0.5, ctx.seed)});
-  cells.push_back({"gnp_256_dense", gen::gnp(256, 0.4, ctx.seed + 1)});
-  cells.push_back({"path_256", gen::path(256)});
-  cells.push_back({"cycle_128", gen::cycle(128)});
+  cells.push_back({"K_64", ctx.cell_graph([&] { return gen::complete(64); })});
+  cells.push_back({"star_64", ctx.cell_graph([&] { return gen::star(64); })});
+  cells.push_back({"gnp_128_dense", ctx.cell_graph([&] { return gen::gnp(128, 0.5, ctx.seed); })});
+  cells.push_back({"gnp_256_dense", ctx.cell_graph([&] { return gen::gnp(256, 0.4, ctx.seed + 1); })});
+  cells.push_back({"path_256", ctx.cell_graph([&] { return gen::path(256); })});
+  cells.push_back({"cycle_128", ctx.cell_graph([&] { return gen::cycle(128); })});
 
   print_banner(std::cout, "switch run-length statistics (20000 rounds, warm-up 50)");
   TextTable table({"graph", "n", "diam<=2", "max-off", "S1 bound a*ln(n)",
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
   print_banner(std::cout, "zeta sweep on K_64 (a = 4/zeta scales the off-run length)");
   TextTable ztable({"zeta", "a=4/zeta", "max-off", "min-off", "max-on"});
   for (unsigned den : {5u, 6u, 7u, 8u}) {
-    const Graph g = gen::complete(64);
+    const Graph g = ctx.cell_graph([&] { return gen::complete(64); });
     RandomizedLogSwitch sw(g, CoinOracle(ctx.seed + 23), 1, den);
     const auto stats = measure_switch_runs(sw, 64, 20000, 50);
     ztable.begin_row();

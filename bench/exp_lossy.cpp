@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
       "with the loss rate",
       3);
 
-  const Graph g = gen::random_geometric(300, 0.09, ctx.seed);
+  const Graph g = ctx.cell_graph([&] { return gen::random_geometric(300, 0.09, ctx.seed); });
   std::cout << "radio graph: " << g.summary() << "\n";
   const TwoStateBeepAutomaton automaton;
 

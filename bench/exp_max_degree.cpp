@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
   {
     TextTable table({"d", "mean", "p95", "p95/log2(n)", "p95/(d*log2(n))"});
     for (int d : {4, 8, 16, 32, 64}) {
-      const Graph g = gen::random_regular(2048, d, ctx.seed + static_cast<std::uint64_t>(d));
+      const Graph g = ctx.cell_graph([&] { return gen::random_regular(2048, d, ctx.seed + static_cast<std::uint64_t>(d)); });
       MeasureConfig config;
       config.trials = ctx.trials;
       config.seed = ctx.seed + 100 + static_cast<std::uint64_t>(d);
@@ -43,11 +43,11 @@ int main(int argc, char** argv) {
   {
     struct Cell { std::string name; Graph graph; int delta; };
     std::vector<Cell> cells;
-    cells.push_back({"torus 32x32", gen::torus(32, 32), 4});
-    cells.push_back({"torus 64x64", gen::torus(64, 64), 4});
-    cells.push_back({"grid 64x64", gen::grid(64, 64), 4});
-    cells.push_back({"hypercube 10", gen::hypercube(10), 10});
-    cells.push_back({"hypercube 12", gen::hypercube(12), 12});
+    cells.push_back({"torus 32x32", ctx.cell_graph([&] { return gen::torus(32, 32); }), 4});
+    cells.push_back({"torus 64x64", ctx.cell_graph([&] { return gen::torus(64, 64); }), 4});
+    cells.push_back({"grid 64x64", ctx.cell_graph([&] { return gen::grid(64, 64); }), 4});
+    cells.push_back({"hypercube 10", ctx.cell_graph([&] { return gen::hypercube(10); }), 10});
+    cells.push_back({"hypercube 12", ctx.cell_graph([&] { return gen::hypercube(12); }), 12});
     TextTable table({"graph", "n", "Delta", "mean", "p95", "p95/(Delta*log2 n)"});
     for (const auto& cell : cells) {
       MeasureConfig config;

@@ -56,12 +56,12 @@ int main(int argc, char** argv) {
   {
     struct Cell { std::string name; Graph graph; };
     std::vector<Cell> cells;
-    cells.push_back({"gnp24 p=0.2", gen::gnp(24, 0.2, ctx.seed)});
-    cells.push_back({"gnp28 p=0.3", gen::gnp(28, 0.3, ctx.seed + 1)});
-    cells.push_back({"grid 5x5", gen::grid(5, 5)});
-    cells.push_back({"cycle 18", gen::cycle(18)});
-    cells.push_back({"tree 26", gen::random_tree(26, ctx.seed + 2)});
-    cells.push_back({"K_12", gen::complete(12)});
+    cells.push_back({"gnp24 p=0.2", ctx.cell_graph([&] { return gen::gnp(24, 0.2, ctx.seed); })});
+    cells.push_back({"gnp28 p=0.3", ctx.cell_graph([&] { return gen::gnp(28, 0.3, ctx.seed + 1); })});
+    cells.push_back({"grid 5x5", ctx.cell_graph([&] { return gen::grid(5, 5); })});
+    cells.push_back({"cycle 18", ctx.cell_graph([&] { return gen::cycle(18); })});
+    cells.push_back({"tree 26", ctx.cell_graph([&] { return gen::random_tree(26, ctx.seed + 2); })});
+    cells.push_back({"K_12", ctx.cell_graph([&] { return gen::complete(12); })});
     TextTable table({"graph", "min maximal", "max independent", "2-state mean",
                      "3-state mean", "greedy"});
     for (auto& cell : cells) {
@@ -86,10 +86,10 @@ int main(int argc, char** argv) {
   {
     struct Cell { std::string name; Graph graph; };
     std::vector<Cell> cells;
-    cells.push_back({"gnp512 p=0.01", gen::gnp(512, 0.01, ctx.seed + 3)});
-    cells.push_back({"gnp512 p=0.1", gen::gnp(512, 0.1, ctx.seed + 4)});
-    cells.push_back({"tree2048", gen::random_tree(2048, ctx.seed + 5)});
-    cells.push_back({"torus 24x24", gen::torus(24, 24)});
+    cells.push_back({"gnp512 p=0.01", ctx.cell_graph([&] { return gen::gnp(512, 0.01, ctx.seed + 3); })});
+    cells.push_back({"gnp512 p=0.1", ctx.cell_graph([&] { return gen::gnp(512, 0.1, ctx.seed + 4); })});
+    cells.push_back({"tree2048", ctx.cell_graph([&] { return gen::random_tree(2048, ctx.seed + 5); })});
+    cells.push_back({"torus 24x24", ctx.cell_graph([&] { return gen::torus(24, 24); })});
     TextTable table({"graph", "2-state mean", "2-state min..max", "greedy",
                      "mean/greedy"});
     for (auto& cell : cells) {

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       "bit-identical to the direct process simulations",
       200);
 
-  const auto suite = small_suite(ctx.seed);
+  const auto suite = ctx.suite_or([&] { return small_suite(ctx.seed); });
   const int rounds = ctx.trials;  // rounds compared per graph
 
   print_banner(std::cout, "trace equivalence (rounds compared, mismatches)");

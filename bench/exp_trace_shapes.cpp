@@ -50,14 +50,14 @@ int main(int argc, char** argv) {
     ProcessKind kind;
   };
   std::vector<Cell> cells;
-  cells.push_back({"2-state on K_1024", gen::complete(1024), ProcessKind::kTwoState});
-  cells.push_back({"2-state on gnp2048 p=0.005", gen::gnp(2048, 0.005, ctx.seed),
+  cells.push_back({"2-state on K_1024", ctx.cell_graph([&] { return gen::complete(1024); }), ProcessKind::kTwoState});
+  cells.push_back({"2-state on gnp2048 p=0.005", ctx.cell_graph([&] { return gen::gnp(2048, 0.005, ctx.seed); }),
                    ProcessKind::kTwoState});
-  cells.push_back({"2-state on tree4096", gen::random_tree(4096, ctx.seed + 1),
+  cells.push_back({"2-state on tree4096", ctx.cell_graph([&] { return gen::random_tree(4096, ctx.seed + 1); }),
                    ProcessKind::kTwoState});
-  cells.push_back({"3-state on gnp2048 p=0.005", gen::gnp(2048, 0.005, ctx.seed),
+  cells.push_back({"3-state on gnp2048 p=0.005", ctx.cell_graph([&] { return gen::gnp(2048, 0.005, ctx.seed); }),
                    ProcessKind::kThreeState});
-  cells.push_back({"3-color on gnp512 p=0.1", gen::gnp(512, 0.1, ctx.seed + 2),
+  cells.push_back({"3-color on gnp512 p=0.1", ctx.cell_graph([&] { return gen::gnp(512, 0.1, ctx.seed + 2); }),
                    ProcessKind::kThreeColor});
 
   for (auto& cell : cells) {

@@ -36,8 +36,10 @@ int main(int argc, char** argv) {
     print_banner(std::cout, "2-state on " + family.name);
     TextTable table({"n", "arboricity<=", "mean", "p95", "p95/log2(n)"});
     for (Vertex n : {256, 1024, 4096, 16384}) {
-      const Graph g = family.make(static_cast<Vertex>(n * ctx.scale),
-                                  ctx.seed + static_cast<std::uint64_t>(n));
+      const Graph g = ctx.cell_graph([&] {
+        return family.make(static_cast<Vertex>(n * ctx.scale),
+                           ctx.seed + static_cast<std::uint64_t>(n));
+      });
       MeasureConfig config;
       config.trials = ctx.trials;
       config.seed = ctx.seed + static_cast<std::uint64_t>(n) * 7;

@@ -1,7 +1,10 @@
 // Mutable edge accumulator producing immutable CSR Graphs.
 //
 // Generators add edges freely (duplicates and both orientations are fine);
-// build() sorts, deduplicates, and validates once.
+// build() sorts, deduplicates, and validates once. Peak memory is ~3x the
+// final CSR (the buffered edge list is 16 bytes/edge) — fine for the
+// point-set generators and tests that use it; large-graph generators emit
+// through the streaming CsrBuilder (graph/csr_builder.hpp) instead.
 #pragma once
 
 #include <vector>

@@ -1,0 +1,43 @@
+#include "graph/csr_builder.hpp"
+
+#include <algorithm>
+
+namespace ssmis {
+
+Graph CsrBuilder::finalize(Vertex n, std::vector<std::int64_t> offsets,
+                           std::vector<Vertex> adj) {
+  // After pass 2, offsets[u] == end of row u for u in [0, n) and offsets[n]
+  // is the untouched total, which equals end of row n-1; shift right to
+  // recover [0, end(0), ..., end(n-2)] starts.
+  for (std::size_t u = static_cast<std::size_t>(n); u >= 1; --u)
+    offsets[u] = offsets[u - 1];
+  offsets[0] = 0;
+
+  // Sort + deduplicate each row, compacting the adjacency array in place
+  // (the write cursor never overtakes the read cursor).
+  std::size_t write = 0;
+  std::int64_t row_start = 0;
+  for (std::size_t u = 0; u < static_cast<std::size_t>(n); ++u) {
+    const std::int64_t row_end = offsets[u + 1];
+    std::sort(adj.begin() + row_start, adj.begin() + row_end);
+    offsets[u] = static_cast<std::int64_t>(write);
+    for (std::int64_t i = row_start; i < row_end; ++i) {
+      if (i == row_start || adj[static_cast<std::size_t>(i)] !=
+                                adj[static_cast<std::size_t>(i) - 1]) {
+        adj[write++] = adj[static_cast<std::size_t>(i)];
+      }
+    }
+    row_start = row_end;
+  }
+  offsets[static_cast<std::size_t>(n)] = static_cast<std::int64_t>(write);
+
+  // Return duplicate slack when it is worth a realloc; duplicate-free
+  // streams (gnp, trees) take the no-op branch and never copy.
+  if (write < adj.size()) {
+    adj.resize(write);
+    if (adj.capacity() - adj.size() > adj.size() / 8) adj.shrink_to_fit();
+  }
+  return Graph(n, std::move(offsets), std::move(adj));
+}
+
+}  // namespace ssmis

@@ -4,9 +4,12 @@
 #include <cmath>
 #include <set>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/builder.hpp"
+#include "graph/csr_builder.hpp"
+#include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
 
 namespace ssmis {
@@ -18,178 +21,76 @@ void require(bool cond, const char* message) {
   if (!cond) throw std::invalid_argument(message);
 }
 
-}  // namespace
-
-Graph complete(Vertex n) {
-  require(n >= 0, "complete: n must be >= 0");
-  GraphBuilder b(n);
-  for (Vertex u = 0; u < n; ++u)
-    for (Vertex v = u + 1; v < n; ++v) b.add_edge(u, v);
-  return std::move(b).build();
+// Geometric(p) skip length for G(n,p) skip-sampling, hardened against the
+// floating-point edge cases: r at the extremes of next_double and denormal-
+// small p can push log1p(-r)/log1p(-p) to -0.0, inf, or (0/-0) NaN; the
+// clamps map every non-finite or negative value to a safe skip instead of
+// feeding it to the int64 cast (UB on NaN/overflow). The 1e18 cap matches
+// the pre-hardening code so in-range seeds keep byte-identical streams.
+std::int64_t geometric_skip(double r, double log_1mp) {
+  const double skip_f = std::floor(std::log1p(-r) / log_1mp);
+  if (!(skip_f > 0.0)) return 0;  // NaN, -0.0, and negatives land here
+  if (skip_f >= 1e18) return static_cast<std::int64_t>(1e18);
+  return static_cast<std::int64_t>(skip_f);
 }
 
-Graph path(Vertex n) {
-  require(n >= 0, "path: n must be >= 0");
-  GraphBuilder b(n);
-  for (Vertex u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
-  return std::move(b).build();
-}
-
-Graph cycle(Vertex n) {
-  require(n >= 0, "cycle: n must be >= 0");
-  GraphBuilder b(n);
-  for (Vertex u = 0; u + 1 < n; ++u) b.add_edge(u, u + 1);
-  if (n >= 3) b.add_edge(n - 1, 0);
-  return std::move(b).build();
-}
-
-Graph star(Vertex n) {
-  require(n >= 0, "star: n must be >= 0");
-  GraphBuilder b(n);
-  for (Vertex u = 1; u < n; ++u) b.add_edge(0, u);
-  return std::move(b).build();
-}
-
-Graph complete_bipartite(Vertex a, Vertex b_size) {
-  require(a >= 0 && b_size >= 0, "complete_bipartite: sizes must be >= 0");
-  GraphBuilder b(a + b_size);
-  for (Vertex u = 0; u < a; ++u)
-    for (Vertex v = a; v < a + b_size; ++v) b.add_edge(u, v);
-  return std::move(b).build();
-}
-
-Graph disjoint_cliques(Vertex count, Vertex size) {
-  require(count >= 0 && size >= 0, "disjoint_cliques: sizes must be >= 0");
-  GraphBuilder b(count * size);
-  for (Vertex c = 0; c < count; ++c) {
-    const Vertex base = c * size;
-    for (Vertex i = 0; i < size; ++i)
-      for (Vertex j = i + 1; j < size; ++j) b.add_edge(base + i, base + j);
-  }
-  return std::move(b).build();
-}
-
-Graph grid(Vertex rows, Vertex cols) {
-  require(rows >= 0 && cols >= 0, "grid: dimensions must be >= 0");
-  GraphBuilder b(rows * cols);
-  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
-  for (Vertex r = 0; r < rows; ++r) {
-    for (Vertex c = 0; c < cols; ++c) {
-      if (c + 1 < cols) b.add_edge(id(r, c), id(r, c + 1));
-      if (r + 1 < rows) b.add_edge(id(r, c), id(r + 1, c));
-    }
-  }
-  return std::move(b).build();
-}
-
-Graph torus(Vertex rows, Vertex cols) {
-  require(rows >= 0 && cols >= 0, "torus: dimensions must be >= 0");
-  GraphBuilder b(rows * cols);
-  auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
-  for (Vertex r = 0; r < rows; ++r) {
-    for (Vertex c = 0; c < cols; ++c) {
-      b.add_edge(id(r, c), id(r, (c + 1) % cols));
-      b.add_edge(id(r, c), id((r + 1) % rows, c));
-    }
-  }
-  return std::move(b).build();
-}
-
-Graph hypercube(int dim) {
-  require(dim >= 0 && dim < 25, "hypercube: dim must be in [0, 25)");
-  const Vertex n = static_cast<Vertex>(1) << dim;
-  GraphBuilder b(n);
-  for (Vertex u = 0; u < n; ++u) {
-    for (int bit = 0; bit < dim; ++bit) {
-      const Vertex v = u ^ (static_cast<Vertex>(1) << bit);
-      if (u < v) b.add_edge(u, v);
-    }
-  }
-  return std::move(b).build();
-}
-
-Graph binary_tree(Vertex n) {
-  require(n >= 0, "binary_tree: n must be >= 0");
-  GraphBuilder b(n);
-  for (Vertex u = 1; u < n; ++u) b.add_edge(u, (u - 1) / 2);
-  return std::move(b).build();
-}
-
-Graph caterpillar(Vertex spine, Vertex legs) {
-  require(spine >= 0 && legs >= 0, "caterpillar: sizes must be >= 0");
-  const Vertex n = spine + spine * legs;
-  GraphBuilder b(n);
-  for (Vertex s = 0; s + 1 < spine; ++s) b.add_edge(s, s + 1);
-  for (Vertex s = 0; s < spine; ++s)
-    for (Vertex l = 0; l < legs; ++l) b.add_edge(s, spine + s * legs + l);
-  return std::move(b).build();
-}
-
-Graph barbell(Vertex k) {
-  require(k >= 1, "barbell: clique size must be >= 1");
-  GraphBuilder b(2 * k);
-  for (Vertex i = 0; i < k; ++i) {
-    for (Vertex j = i + 1; j < k; ++j) {
-      b.add_edge(i, j);
-      b.add_edge(k + i, k + j);
-    }
-  }
-  b.add_edge(k - 1, k);  // the bridge
-  return std::move(b).build();
-}
-
-Graph gnp(Vertex n, double p, std::uint64_t seed) {
-  require(n >= 0, "gnp: n must be >= 0");
-  require(p >= 0.0 && p <= 1.0, "gnp: p must be in [0,1]");
-  if (p >= 1.0) return complete(n);
-  GraphBuilder b(n);
-  if (p > 0.0) {
-    // Skip-sampling over the lexicographic enumeration of pairs (u < v):
-    // the gap between successive present edges is geometric(p).
-    Xoshiro256 rng(seed);
-    const double log_1mp = std::log1p(-p);
-    std::int64_t v = 1;
-    std::int64_t u = -1;
-    while (v < n) {
-      const double r = rng.next_double();
-      const double skip_f = std::floor(std::log1p(-r) / log_1mp);
-      std::int64_t skip =
-          skip_f >= 1e18 ? static_cast<std::int64_t>(1e18)
-                         : static_cast<std::int64_t>(skip_f);
-      u += 1 + skip;
-      while (u >= v && v < n) {
-        u -= v;
-        ++v;
-      }
-      if (v < n) b.add_edge(static_cast<Vertex>(u), static_cast<Vertex>(v));
-    }
-  }
-  return std::move(b).build();
-}
-
-Graph gnm(Vertex n, std::int64_t m, std::uint64_t seed) {
-  require(n >= 0, "gnm: n must be >= 0");
-  const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
-  require(m >= 0 && m <= max_m, "gnm: m out of range");
+// Emits G(n,p) via skip-sampling over the lexicographic enumeration of pairs
+// (u < v): the gap between successive present edges is geometric(p).
+// Deterministic in (n, p, seed), so the stream replays for the two-pass CSR
+// build. Requires 0 < p < 1.
+template <typename Emit>
+void emit_gnp(Vertex n, double p, std::uint64_t seed, Emit&& emit) {
   Xoshiro256 rng(seed);
-  std::set<Edge> chosen;
-  while (static_cast<std::int64_t>(chosen.size()) < m) {
+  const double log_1mp = std::log1p(-p);
+  std::int64_t v = 1;
+  std::int64_t u = -1;
+  while (v < n) {
+    const std::int64_t skip = geometric_skip(rng.next_double(), log_1mp);
+    u += 1 + skip;
+    while (u >= v && v < n) {
+      u -= v;
+      ++v;
+    }
+    if (v < n) emit(static_cast<Vertex>(u), static_cast<Vertex>(v));
+  }
+}
+
+// Packs a normalized pair (u < v) into one hash key.
+std::uint64_t edge_key(Vertex n, Vertex u, Vertex v) {
+  return static_cast<std::uint64_t>(u) * static_cast<std::uint64_t>(n) +
+         static_cast<std::uint64_t>(v);
+}
+
+// Draws distinct uniform edges into `chosen` until it holds `want` of them,
+// emitting each accepted edge. The draw/reject sequence (self-loops, then
+// duplicates) is identical to the historical std::set sampler, so sparse
+// G(n,m) streams are unchanged for fixed seeds — only the heap-heavy
+// ordered-set bookkeeping is gone.
+template <typename Emit>
+void sample_distinct_edges(Vertex n, std::int64_t want, std::uint64_t seed,
+                           std::unordered_set<std::uint64_t>& chosen,
+                           Emit&& emit) {
+  Xoshiro256 rng(seed);
+  chosen.clear();
+  chosen.reserve(static_cast<std::size_t>(want) * 2);
+  while (static_cast<std::int64_t>(chosen.size()) < want) {
     Vertex u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
     Vertex v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
     if (u == v) continue;
     if (u > v) std::swap(u, v);
-    chosen.emplace(u, v);
+    if (chosen.insert(edge_key(n, u, v)).second) emit(u, v);
   }
-  GraphBuilder b(n);
-  for (const auto& [u, v] : chosen) b.add_edge(u, v);
-  return std::move(b).build();
 }
 
-Graph random_tree(Vertex n, std::uint64_t seed) {
-  require(n >= 0, "random_tree: n must be >= 0");
-  if (n <= 1) return Graph::from_edges(n, {});
-  if (n == 2) return Graph::from_edges(2, {{0, 1}});
-  // Pruefer decoding: uniform over the n^(n-2) labeled trees.
+// Emits a uniform random labeled tree (Pruefer decoding) on n >= 1 vertices.
+// Deterministic in (n, seed): replayable for the two-pass CSR build.
+template <typename Emit>
+void emit_random_tree(Vertex n, std::uint64_t seed, Emit&& emit) {
+  if (n <= 1) return;
+  if (n == 2) {
+    emit(0, 1);
+    return;
+  }
   Xoshiro256 rng(seed);
   std::vector<Vertex> pruefer(static_cast<std::size_t>(n) - 2);
   for (auto& x : pruefer)
@@ -197,62 +98,225 @@ Graph random_tree(Vertex n, std::uint64_t seed) {
   std::vector<Vertex> remaining_degree(static_cast<std::size_t>(n), 1);
   for (Vertex x : pruefer) ++remaining_degree[static_cast<std::size_t>(x)];
 
-  GraphBuilder b(n);
   std::set<Vertex> leaves;
   for (Vertex u = 0; u < n; ++u)
     if (remaining_degree[static_cast<std::size_t>(u)] == 1) leaves.insert(u);
   for (Vertex x : pruefer) {
     const Vertex leaf = *leaves.begin();
     leaves.erase(leaves.begin());
-    b.add_edge(leaf, x);
+    emit(leaf, x);
     if (--remaining_degree[static_cast<std::size_t>(x)] == 1) leaves.insert(x);
   }
   const Vertex a = *leaves.begin();
   const Vertex c = *std::next(leaves.begin());
-  b.add_edge(a, c);
-  return std::move(b).build();
+  emit(a, c);
+}
+
+}  // namespace
+
+Graph complete(Vertex n) {
+  require(n >= 0, "complete: n must be >= 0");
+  return CsrBuilder::from_source(n, [n](auto&& emit) {
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v = u + 1; v < n; ++v) emit(u, v);
+  });
+}
+
+Graph path(Vertex n) {
+  require(n >= 0, "path: n must be >= 0");
+  return CsrBuilder::from_source(n, [n](auto&& emit) {
+    for (Vertex u = 0; u + 1 < n; ++u) emit(u, u + 1);
+  });
+}
+
+Graph cycle(Vertex n) {
+  require(n >= 0, "cycle: n must be >= 0");
+  return CsrBuilder::from_source(n, [n](auto&& emit) {
+    for (Vertex u = 0; u + 1 < n; ++u) emit(u, u + 1);
+    if (n >= 3) emit(n - 1, 0);
+  });
+}
+
+Graph star(Vertex n) {
+  require(n >= 0, "star: n must be >= 0");
+  return CsrBuilder::from_source(n, [n](auto&& emit) {
+    for (Vertex u = 1; u < n; ++u) emit(0, u);
+  });
+}
+
+Graph complete_bipartite(Vertex a, Vertex b_size) {
+  require(a >= 0 && b_size >= 0, "complete_bipartite: sizes must be >= 0");
+  return CsrBuilder::from_source(a + b_size, [a, b_size](auto&& emit) {
+    for (Vertex u = 0; u < a; ++u)
+      for (Vertex v = a; v < a + b_size; ++v) emit(u, v);
+  });
+}
+
+Graph disjoint_cliques(Vertex count, Vertex size) {
+  require(count >= 0 && size >= 0, "disjoint_cliques: sizes must be >= 0");
+  return CsrBuilder::from_source(count * size, [count, size](auto&& emit) {
+    for (Vertex c = 0; c < count; ++c) {
+      const Vertex base = c * size;
+      for (Vertex i = 0; i < size; ++i)
+        for (Vertex j = i + 1; j < size; ++j) emit(base + i, base + j);
+    }
+  });
+}
+
+Graph grid(Vertex rows, Vertex cols) {
+  require(rows >= 0 && cols >= 0, "grid: dimensions must be >= 0");
+  return CsrBuilder::from_source(rows * cols, [rows, cols](auto&& emit) {
+    auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+    for (Vertex r = 0; r < rows; ++r) {
+      for (Vertex c = 0; c < cols; ++c) {
+        if (c + 1 < cols) emit(id(r, c), id(r, c + 1));
+        if (r + 1 < rows) emit(id(r, c), id(r + 1, c));
+      }
+    }
+  });
+}
+
+Graph torus(Vertex rows, Vertex cols) {
+  require(rows >= 0 && cols >= 0, "torus: dimensions must be >= 0");
+  return CsrBuilder::from_source(rows * cols, [rows, cols](auto&& emit) {
+    auto id = [cols](Vertex r, Vertex c) { return r * cols + c; };
+    for (Vertex r = 0; r < rows; ++r) {
+      for (Vertex c = 0; c < cols; ++c) {
+        emit(id(r, c), id(r, (c + 1) % cols));
+        emit(id(r, c), id((r + 1) % rows, c));
+      }
+    }
+  });
+}
+
+Graph hypercube(int dim) {
+  require(dim >= 0 && dim < 25, "hypercube: dim must be in [0, 25)");
+  const Vertex n = static_cast<Vertex>(1) << dim;
+  return CsrBuilder::from_source(n, [n, dim](auto&& emit) {
+    for (Vertex u = 0; u < n; ++u) {
+      for (int bit = 0; bit < dim; ++bit) {
+        const Vertex v = u ^ (static_cast<Vertex>(1) << bit);
+        if (u < v) emit(u, v);
+      }
+    }
+  });
+}
+
+Graph binary_tree(Vertex n) {
+  require(n >= 0, "binary_tree: n must be >= 0");
+  return CsrBuilder::from_source(n, [n](auto&& emit) {
+    for (Vertex u = 1; u < n; ++u) emit(u, (u - 1) / 2);
+  });
+}
+
+Graph caterpillar(Vertex spine, Vertex legs) {
+  require(spine >= 0 && legs >= 0, "caterpillar: sizes must be >= 0");
+  const Vertex n = spine + spine * legs;
+  return CsrBuilder::from_source(n, [spine, legs](auto&& emit) {
+    for (Vertex s = 0; s + 1 < spine; ++s) emit(s, s + 1);
+    for (Vertex s = 0; s < spine; ++s)
+      for (Vertex l = 0; l < legs; ++l) emit(s, spine + s * legs + l);
+  });
+}
+
+Graph barbell(Vertex k) {
+  require(k >= 1, "barbell: clique size must be >= 1");
+  return CsrBuilder::from_source(2 * k, [k](auto&& emit) {
+    for (Vertex i = 0; i < k; ++i) {
+      for (Vertex j = i + 1; j < k; ++j) {
+        emit(i, j);
+        emit(k + i, k + j);
+      }
+    }
+    emit(k - 1, k);  // the bridge
+  });
+}
+
+Graph gnp(Vertex n, double p, std::uint64_t seed) {
+  require(n >= 0, "gnp: n must be >= 0");
+  require(p >= 0.0 && p <= 1.0, "gnp: p must be in [0,1]");
+  if (p >= 1.0) return complete(n);
+  if (p <= 0.0) return CsrBuilder::from_source(n, [](auto&&) {});
+  return CsrBuilder::from_source(
+      n, [n, p, seed](auto&& emit) { emit_gnp(n, p, seed, emit); });
+}
+
+Graph gnm(Vertex n, std::int64_t m, std::uint64_t seed) {
+  require(n >= 0, "gnm: n must be >= 0");
+  const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;
+  require(m >= 0 && m <= max_m, "gnm: m out of range");
+  std::unordered_set<std::uint64_t> scratch;
+  if (2 * m <= max_m) {
+    // Sparse side: hash-set rejection sampling, O(m) expected.
+    return CsrBuilder::from_source(n, [&](auto&& emit) {
+      sample_distinct_edges(n, m, seed, scratch, emit);
+    });
+  }
+  // Dense side: rejection sampling degenerates (coupon collector) as
+  // m -> max_m, so sample the *complement* — max_m - m <= max_m/2 distinct
+  // non-edges — and emit every pair not in it. O(n^2) = O(max_m) <= O(2m)
+  // total work, independent of how close m is to max_m.
+  return CsrBuilder::from_source(n, [&](auto&& emit) {
+    sample_distinct_edges(n, max_m - m, seed, scratch, [](Vertex, Vertex) {});
+    for (Vertex u = 0; u < n; ++u)
+      for (Vertex v = u + 1; v < n; ++v)
+        if (scratch.count(edge_key(n, u, v)) == 0) emit(u, v);
+  });
+}
+
+Graph random_tree(Vertex n, std::uint64_t seed) {
+  require(n >= 0, "random_tree: n must be >= 0");
+  return CsrBuilder::from_source(
+      n, [n, seed](auto&& emit) { emit_random_tree(n, seed, emit); });
 }
 
 Graph random_recursive_tree(Vertex n, std::uint64_t seed) {
   require(n >= 0, "random_recursive_tree: n must be >= 0");
-  Xoshiro256 rng(seed);
-  GraphBuilder b(n);
-  for (Vertex u = 1; u < n; ++u) {
-    const Vertex parent =
-        static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(u)));
-    b.add_edge(u, parent);
-  }
-  return std::move(b).build();
+  return CsrBuilder::from_source(n, [n, seed](auto&& emit) {
+    Xoshiro256 rng(seed);
+    for (Vertex u = 1; u < n; ++u) {
+      const Vertex parent =
+          static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(u)));
+      emit(u, parent);
+    }
+  });
 }
 
 Graph forest_union(Vertex n, int k, std::uint64_t seed) {
   require(k >= 1, "forest_union: k must be >= 1");
-  GraphBuilder b(n);
-  for (int i = 0; i < k; ++i) {
-    const Graph tree = random_tree(n, seed + static_cast<std::uint64_t>(i) * 0x9e3779b9ULL);
-    for (const auto& [u, v] : tree.edge_list()) b.add_edge(u, v);
-  }
-  return std::move(b).build();
+  require(n >= 0, "forest_union: n must be >= 0");
+  // Per-tree seeds come from the SplitMix64 stream of the *avalanched* base
+  // seed. The historical `seed + i * golden` scheme made forest_union(n,k,s)
+  // and forest_union(n,k,s+golden) share k-1 identical trees — and seeding
+  // the stream with the raw base seed would reproduce the same shift overlap
+  // (SplitMix64 itself advances by the same golden increment), so the base
+  // seed is mixed once before it enters the stream.
+  return CsrBuilder::from_source(n, [n, k, seed](auto&& emit) {
+    SplitMix64 seeder(splitmix64_mix(seed));
+    for (int i = 0; i < k; ++i) emit_random_tree(n, seeder.next(), emit);
+  });
 }
 
 Graph random_regular(Vertex n, int d, std::uint64_t seed) {
   require(n >= 0 && d >= 0, "random_regular: n, d must be >= 0");
   require(static_cast<std::int64_t>(n) * d % 2 == 0, "random_regular: n*d must be even");
   require(d < n || n == 0, "random_regular: need d < n");
-  // Configuration model: pair up n*d stubs uniformly; drop loops/multi-edges.
-  Xoshiro256 rng(seed);
-  std::vector<Vertex> stubs;
-  stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
-  for (Vertex u = 0; u < n; ++u)
-    for (int i = 0; i < d; ++i) stubs.push_back(u);
-  // Fisher-Yates shuffle, then pair consecutive stubs.
-  for (std::size_t i = stubs.size(); i > 1; --i) {
-    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
-    std::swap(stubs[i - 1], stubs[j]);
-  }
-  GraphBuilder b(n);
-  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) b.add_edge(stubs[i], stubs[i + 1]);
-  return std::move(b).build();
+  // Configuration model: pair up n*d stubs uniformly; drop loops/multi-edges
+  // (the CSR build deduplicates the multi-edges).
+  return CsrBuilder::from_source(n, [n, d, seed](auto&& emit) {
+    Xoshiro256 rng(seed);
+    std::vector<Vertex> stubs;
+    stubs.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(d));
+    for (Vertex u = 0; u < n; ++u)
+      for (int i = 0; i < d; ++i) stubs.push_back(u);
+    // Fisher-Yates shuffle, then pair consecutive stubs.
+    for (std::size_t i = stubs.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+      std::swap(stubs[i - 1], stubs[j]);
+    }
+    for (std::size_t i = 0; i + 1 < stubs.size(); i += 2)
+      emit(stubs[i], stubs[i + 1]);  // builder drops the loops, dedups the rest
+  });
 }
 
 Graph random_geometric(Vertex n, double radius, std::uint64_t seed) {

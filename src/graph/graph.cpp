@@ -7,10 +7,36 @@
 
 namespace ssmis {
 
-Graph::Graph() : n_(0), offsets_(1, 0) {}
+struct Graph::Storage {
+  std::vector<std::int64_t> offsets;
+  std::vector<Vertex> adj;
+};
+
+Graph::Graph() = default;
 
 Graph::Graph(Vertex n, std::vector<std::int64_t> offsets, std::vector<Vertex> adj)
-    : n_(n), offsets_(std::move(offsets)), adj_(std::move(adj)) {}
+    : n_(n) {
+  auto storage = std::make_shared<Storage>();
+  storage->offsets = std::move(offsets);
+  storage->adj = std::move(adj);
+  offsets_ = storage->offsets.data();
+  adj_ = storage->adj.data();
+  adj_size_ = storage->adj.size();
+  backing_ = std::move(storage);
+}
+
+Graph Graph::from_external_csr(Vertex n, const std::int64_t* offsets,
+                               const Vertex* adj, std::size_t adj_len,
+                               std::shared_ptr<const void> backing) {
+  Graph g;
+  g.n_ = n;
+  g.offsets_ = offsets;
+  g.adj_ = adj;
+  g.adj_size_ = adj_len;
+  g.mapped_ = true;
+  g.backing_ = std::move(backing);
+  return g;
+}
 
 Graph Graph::from_edges(Vertex n, std::span<const Edge> edges) {
   GraphBuilder builder(n);
@@ -50,6 +76,13 @@ std::vector<Edge> Graph::edge_list() const {
     }
   }
   return edges;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  if (n_ != other.n_ || adj_size_ != other.adj_size_) return false;
+  if (offsets_ == other.offsets_ && adj_ == other.adj_) return true;
+  return std::equal(offsets_, offsets_ + n_ + 1, other.offsets_) &&
+         std::equal(adj_, adj_ + adj_size_, other.adj_);
 }
 
 std::string Graph::summary() const {

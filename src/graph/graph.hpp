@@ -2,11 +2,18 @@
 //
 // All processes, models, and verifiers operate on this type. Vertices are
 // dense integers [0, n). Adjacency lists are sorted, deduplicated, and
-// loop-free (enforced by GraphBuilder), so `has_edge` is a binary search and
+// loop-free (enforced by the builders), so `has_edge` is a binary search and
 // neighborhood iteration is cache-friendly.
+//
+// Storage model: a Graph is a cheap-to-copy immutable handle. The CSR arrays
+// live either in heap vectors (builder output, `load_ssg`) or in an external
+// read-only region such as an mmap'd `.ssg` file (`mmap_ssg`); a shared
+// keep-alive handle owns the backing either way, so copies share storage
+// instead of duplicating hundreds of megabytes at the 10^7-vertex scale.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -28,13 +35,29 @@ class Graph {
   static Graph from_edges(Vertex n, std::span<const Edge> edges);
   static Graph from_edges(Vertex n, std::initializer_list<Edge> edges);
 
+  // Zero-copy view over externally owned CSR arrays (the `.ssg` mmap loader).
+  // `backing` keeps the arrays alive for the Graph's lifetime. The arrays
+  // must already satisfy the class invariants — sorted deduplicated rows,
+  // symmetric adjacency, no self-loops, monotone offsets with
+  // offsets[0] == 0 and offsets[n] == adj_len; callers are trusted.
+  static Graph from_external_csr(Vertex n, const std::int64_t* offsets,
+                                 const Vertex* adj, std::size_t adj_len,
+                                 std::shared_ptr<const void> backing);
+
+  // Adopts already-valid CSR vectors (the `.ssg` owned-storage loader).
+  // Same trust contract as from_external_csr.
+  static Graph from_owned_csr(Vertex n, std::vector<std::int64_t> offsets,
+                              std::vector<Vertex> adj) {
+    return Graph(n, std::move(offsets), std::move(adj));
+  }
+
   Vertex num_vertices() const { return n_; }
-  std::int64_t num_edges() const { return static_cast<std::int64_t>(adj_.size()) / 2; }
+  std::int64_t num_edges() const { return static_cast<std::int64_t>(adj_size_) / 2; }
 
   // Sorted, duplicate-free open neighborhood of u.
   std::span<const Vertex> neighbors(Vertex u) const {
-    return {adj_.data() + offsets_[static_cast<std::size_t>(u)],
-            adj_.data() + offsets_[static_cast<std::size_t>(u) + 1]};
+    return {adj_ + offsets_[static_cast<std::size_t>(u)],
+            adj_ + offsets_[static_cast<std::size_t>(u) + 1]};
   }
 
   Vertex degree(Vertex u) const {
@@ -51,20 +74,39 @@ class Graph {
   // All edges (u < v), in increasing (u, v) order.
   std::vector<Edge> edge_list() const;
 
-  bool operator==(const Graph& other) const {
-    return n_ == other.n_ && offsets_ == other.offsets_ && adj_ == other.adj_;
+  // Raw CSR views (serialization and checksumming).
+  std::span<const std::int64_t> offsets() const {
+    return {offsets_, static_cast<std::size_t>(n_) + 1};
   }
+  std::span<const Vertex> adjacency() const { return {adj_, adj_size_}; }
+
+  // True when the CSR arrays live in an external region (e.g. an mmap'd
+  // `.ssg` file) rather than heap vectors.
+  bool is_mapped() const { return mapped_; }
+
+  // Deep structural equality (n, offsets, adjacency).
+  bool operator==(const Graph& other) const;
 
   // One-line human-readable summary, e.g. "Graph(n=100, m=250, maxdeg=9)".
   std::string summary() const;
 
  private:
   friend class GraphBuilder;
+  friend class CsrBuilder;
   Graph(Vertex n, std::vector<std::int64_t> offsets, std::vector<Vertex> adj);
 
+  // Owned-storage backing: the vectors a builder produced, parked behind the
+  // shared keep-alive handle so copies of the Graph share them.
+  struct Storage;
+
+  static constexpr std::int64_t kEmptyOffsets[1] = {0};
+
   Vertex n_ = 0;
-  std::vector<std::int64_t> offsets_;  // size n+1
-  std::vector<Vertex> adj_;            // size 2m, sorted within each row
+  const std::int64_t* offsets_ = kEmptyOffsets;  // n+1 entries
+  const Vertex* adj_ = nullptr;                  // 2m entries, sorted per row
+  std::size_t adj_size_ = 0;
+  bool mapped_ = false;
+  std::shared_ptr<const void> backing_;  // owns whatever offsets_/adj_ point into
 };
 
 }  // namespace ssmis

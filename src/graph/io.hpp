@@ -1,4 +1,5 @@
 // Graph serialization: whitespace edge-list format and Graphviz DOT export.
+// (The binary CSR format for large graphs lives in graph/ssg.hpp.)
 //
 // Edge-list format: first line `n m`, then one `u v` pair per line. Lines
 // starting with '#' are comments.

@@ -1,0 +1,90 @@
+// `.ssg` — the versioned binary CSR on-disk graph format.
+//
+// Generating a 10^7-vertex G(n,p) takes longer than simulating on it; the
+// `.ssg` file lets a graph be generated once and reused across every
+// experiment binary (the shared `--graph-file` flag). Layout, all fields
+// little-endian, 8-byte-aligned sections:
+//
+//   offset  size            field
+//   ------  --------------  ---------------------------------------------
+//        0  8               magic "SSGRAPH1"
+//        8  4 (u32)         format version (currently 1)
+//       12  4 (u32)         endianness tag 0x01020304 as written
+//       16  8 (i64)         n  (vertex count)
+//       24  8 (i64)         adj_len (= 2m directed endpoints)
+//       32  8 (u64)         FNV-1a checksum of the payload (see ssg.cpp)
+//       40  24              reserved, zero
+//       64  8*(n+1)         offsets[] (i64)
+//   64+8(n+1)  4*adj_len    adj[] (i32)
+//
+// Versioning/endianness contract: readers reject any magic, version, or
+// endianness-tag mismatch with std::runtime_error rather than guessing —
+// a v2 writer must bump the version field, and a big-endian host reading a
+// little-endian file fails loudly on the tag. Truncated files and checksum
+// mismatches also throw.
+//
+// `load_ssg` copies into heap vectors; `mmap_ssg` maps the file read-only
+// and wraps the in-file arrays directly (zero allocation beyond the page
+// tables — the OS can evict and refault pages under memory pressure), which
+// is the intended path for the 10^7-vertex regime.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace ssmis {
+
+class CliArgs;
+
+namespace io {
+
+inline constexpr char kSsgMagic[8] = {'S', 'S', 'G', 'R', 'A', 'P', 'H', '1'};
+inline constexpr std::uint32_t kSsgVersion = 1;
+inline constexpr std::uint32_t kSsgEndianTag = 0x01020304u;
+inline constexpr std::size_t kSsgHeaderBytes = 64;
+
+// How much of the payload a load re-checks. Header fields and offsets
+// (monotone, matching adj_len — what row iteration indexes with) are
+// validated in EVERY mode; the modes grade the O(m)-and-up work:
+//   kFull    checksum pass + adjacency structure (range, sorted/dedup rows,
+//            no self-loops, undirected symmetry). The default: an external
+//            or corrupted file throws, never loads wrong.
+//   kTrusted header + offsets only. For files this process (or pipeline)
+//            wrote itself: reuse costs page faults, not a re-validation of
+//            every edge — the point of generating once. A crafted file can
+//            defeat this mode; that is what makes it "trusted".
+enum class SsgValidation { kFull, kTrusted };
+
+// Throws std::runtime_error on I/O failure.
+void save_ssg(const std::string& path, const Graph& g);
+
+// Reads the whole file into owned heap storage. Throws std::runtime_error
+// on malformed header, truncation, or (in kFull mode) checksum mismatch.
+Graph load_ssg(const std::string& path,
+               SsgValidation validation = SsgValidation::kFull);
+
+// Memory-maps the file read-only and returns a zero-copy Graph view; the
+// mapping lives as long as any copy of the Graph. Falls back to load_ssg
+// on platforms without mmap.
+Graph mmap_ssg(const std::string& path,
+               SsgValidation validation = SsgValidation::kFull);
+
+// Dispatches on extension: `.ssg` -> binary (mmap or owned read), anything
+// else -> the whitespace edge-list reader. The one-stop entry point behind
+// every binary's --graph-file flag (`--graph-trusted` maps to kTrusted).
+Graph load_graph_file(const std::string& path, bool prefer_mmap = true,
+                      SsgValidation validation = SsgValidation::kFull);
+
+// Reads the shared --graph-file / --graph-mmap / --graph-trusted flags and
+// dispatches to load_graph_file — the single flag-to-semantics mapping used
+// by every exp binary and examples/simulate.
+Graph load_graph_file_from_args(const CliArgs& args);
+
+// Bytes the CSR payload of `g` occupies on disk and (mapped) in memory:
+// header + 8(n+1) + 4*2m.
+std::int64_t ssg_file_bytes(const Graph& g);
+
+}  // namespace io
+}  // namespace ssmis

@@ -18,6 +18,18 @@ class Xoshiro256 {
   explicit Xoshiro256(std::uint64_t seed) {
     SplitMix64 sm(seed);
     for (auto& word : state_) word = sm.next();
+    escape_zero_state();
+  }
+
+  // Constructs from raw state words (tests, state transplants). The all-zero
+  // state is the one fixed point of the xoshiro update — a generator seeded
+  // there emits zeros forever — so it is escaped deterministically here and
+  // in the seeding constructor (SplitMix64 expansion cannot actually produce
+  // four zero words, but the guard makes that a proof obligation nobody has
+  // to re-derive).
+  explicit Xoshiro256(const std::uint64_t (&state)[4]) {
+    for (int i = 0; i < 4; ++i) state_[i] = state[i];
+    escape_zero_state();
   }
 
   static constexpr result_type min() { return 0; }
@@ -49,6 +61,13 @@ class Xoshiro256 {
   bool next_bool() { return (next() >> 63) != 0; }
 
  private:
+  void escape_zero_state() {
+    if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) {
+      SplitMix64 sm(0x9e3779b97f4a7c15ULL);
+      for (auto& word : state_) word = sm.next();
+    }
+  }
+
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
   }

@@ -1,0 +1,24 @@
+// Shared non-cryptographic hashing primitives (the .ssg checksum and the
+// test-side CSR fingerprints build on these; keep them in sync by reuse,
+// not by copying).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ssmis {
+
+inline constexpr std::uint64_t kFnv1aBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+// Folds `bytes` bytes at `data` into the running FNV-1a state `h`.
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+}  // namespace ssmis

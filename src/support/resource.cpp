@@ -1,0 +1,41 @@
+#include "support/resource.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <cstdio>
+#endif
+
+namespace ssmis {
+
+std::int64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::int64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::int64_t current_rss_bytes() {
+#if defined(__linux__)
+  long long pages_total = 0, pages_resident = 0;
+  FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  const int got = std::fscanf(f, "%lld %lld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return static_cast<std::int64_t>(pages_resident) *
+         static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+#else
+  return 0;
+#endif
+}
+
+}  // namespace ssmis

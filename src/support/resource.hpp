@@ -1,0 +1,18 @@
+// Process resource introspection for the scale drivers and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+namespace ssmis {
+
+// High-water-mark resident set size of this process in bytes (getrusage
+// ru_maxrss). Returns 0 on platforms without the facility. Note this is a
+// lifetime maximum: it never decreases, so measure deltas around the
+// allocation being budgeted, not absolute values.
+std::int64_t peak_rss_bytes();
+
+// Current resident set size in bytes (/proc/self/statm on Linux), or 0 when
+// unavailable.
+std::int64_t current_rss_bytes();
+
+}  // namespace ssmis

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/csr_builder.hpp"
+#include "rng/xoshiro256.hpp"
+
+namespace ssmis {
+namespace {
+
+// Replays a fixed edge list (the canonical replayable source).
+auto list_source(const std::vector<Edge>& edges) {
+  return [&edges](auto&& emit) {
+    for (const auto& [u, v] : edges) emit(u, v);
+  };
+}
+
+TEST(CsrBuilder, EmptyAndEdgeless) {
+  const Graph empty = CsrBuilder::from_source(0, [](auto&&) {});
+  EXPECT_EQ(empty.num_vertices(), 0);
+  EXPECT_EQ(empty.num_edges(), 0);
+
+  const Graph isolated = CsrBuilder::from_source(5, [](auto&&) {});
+  EXPECT_EQ(isolated.num_vertices(), 5);
+  EXPECT_EQ(isolated.num_edges(), 0);
+  for (Vertex u = 0; u < 5; ++u) EXPECT_EQ(isolated.degree(u), 0);
+}
+
+TEST(CsrBuilder, NegativeVertexCountThrows) {
+  EXPECT_THROW(CsrBuilder::from_source(-1, [](auto&&) {}), std::invalid_argument);
+}
+
+TEST(CsrBuilder, BasicConstruction) {
+  const std::vector<Edge> edges = {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+  const Graph g = CsrBuilder::from_source(4, list_source(edges));
+  EXPECT_EQ(g.num_edges(), 4);
+  for (Vertex u = 0; u < 4; ++u) EXPECT_EQ(g.degree(u), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+}
+
+TEST(CsrBuilder, DropsSelfLoopsAndDeduplicates) {
+  const std::vector<Edge> edges = {{0, 0}, {0, 1}, {1, 0}, {0, 1}, {2, 2}, {1, 2}};
+  const Graph g = CsrBuilder::from_source(3, list_source(edges));
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(CsrBuilder, OutOfRangeThrows) {
+  const std::vector<Edge> bad = {{0, 3}};
+  EXPECT_THROW(CsrBuilder::from_source(3, list_source(bad)), std::invalid_argument);
+  const std::vector<Edge> negative = {{-1, 0}};
+  EXPECT_THROW(CsrBuilder::from_source(3, list_source(negative)),
+               std::invalid_argument);
+}
+
+TEST(CsrBuilder, NonReplayableSourceThrows) {
+  // Emits one edge on the first pass, two on the second.
+  int pass = 0;
+  auto broken = [&pass](auto&& emit) {
+    ++pass;
+    emit(0, 1);
+    if (pass == 2) emit(1, 2);
+  };
+  EXPECT_THROW(CsrBuilder::from_source(3, broken), std::logic_error);
+}
+
+TEST(CsrBuilder, DivergentEqualCountSourceThrows) {
+  // Same edge COUNT but different edges per pass: the multiset stream hash
+  // must catch the divergence rather than hand back a silently corrupt CSR.
+  int pass = 0;
+  auto broken = [&pass](auto&& emit) {
+    ++pass;
+    emit(0, 1);
+    if (pass == 1)
+      emit(0, 2);
+    else
+      emit(2, 3);
+  };
+  EXPECT_THROW(CsrBuilder::from_source(4, broken), std::logic_error);
+}
+
+TEST(CsrBuilder, EndpointOrientationIsIrrelevantAcrossPasses) {
+  // Pass 2 may emit the same undirected edges with flipped endpoints; the
+  // multiset hash and placement are orientation-independent.
+  int pass = 0;
+  auto flipping = [&pass](auto&& emit) {
+    ++pass;
+    if (pass == 1) {
+      emit(0, 1);
+      emit(2, 3);
+    } else {
+      emit(1, 0);
+      emit(3, 2);
+    }
+  };
+  const Graph g = CsrBuilder::from_source(4, flipping);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(CsrBuilder, MatchesGraphBuilderOnRandomMultisets) {
+  // Random edge multisets with duplicates, reversed duplicates, and
+  // self-loops: the streaming two-pass build must produce a Graph equal to
+  // the buffered sort/dedup build.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    Xoshiro256 rng(seed);
+    const Vertex n = 2 + static_cast<Vertex>(rng.next_below(60));
+    const int count = static_cast<int>(rng.next_below(300));
+    std::vector<Edge> edges;
+    for (int i = 0; i < count; ++i) {
+      const auto u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      const auto v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+      edges.emplace_back(u, v);
+      if (rng.next_bool()) edges.emplace_back(v, u);  // reversed duplicate
+    }
+    GraphBuilder b(n);
+    for (const auto& [u, v] : edges) b.add_edge(u, v);
+    const Graph buffered = std::move(b).build();
+    const Graph streamed = CsrBuilder::from_source(n, list_source(edges));
+    EXPECT_EQ(buffered, streamed) << "seed " << seed << " n " << n;
+  }
+}
+
+TEST(CsrBuilder, RowsSortedDeduplicated) {
+  const std::vector<Edge> edges = {{2, 4}, {2, 0}, {2, 3}, {2, 1}, {4, 2}, {0, 2}};
+  const Graph g = CsrBuilder::from_source(5, list_source(edges));
+  const auto nbrs = g.neighbors(2);
+  ASSERT_EQ(nbrs.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+  EXPECT_TRUE(std::adjacent_find(nbrs.begin(), nbrs.end()) == nbrs.end());
+}
+
+TEST(GraphHandle, CopiesShareStorageAndCompareEqual) {
+  const Graph a = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  const Graph b = a;  // shallow handle copy
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.neighbors(1).data(), b.neighbors(1).data());  // shared CSR arrays
+  EXPECT_FALSE(a.is_mapped());
+}
+
+}  // namespace
+}  // namespace ssmis

@@ -54,6 +54,35 @@ TEST(Xoshiro256, NextDoubleInUnitInterval) {
   }
 }
 
+TEST(Xoshiro256, AllZeroStateIsEscaped) {
+  // The all-zero state is the fixed point of the xoshiro update: without a
+  // guard such a generator emits 0 forever. The raw-state constructor (and
+  // the seeding constructor, which shares the guard) must escape it.
+  const std::uint64_t zeros[4] = {0, 0, 0, 0};
+  Xoshiro256 rng(zeros);
+  bool any_nonzero = false;
+  for (int i = 0; i < 16; ++i) any_nonzero |= rng.next() != 0;
+  EXPECT_TRUE(any_nonzero);
+  // And the escape is deterministic.
+  Xoshiro256 again(zeros);
+  Xoshiro256 reference(zeros);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(again.next(), reference.next());
+}
+
+TEST(Xoshiro256, RawStatePassthroughWhenNonzero) {
+  // A nonzero raw state is used verbatim (no silent re-mixing).
+  const std::uint64_t state[4] = {1, 2, 3, 4};
+  Xoshiro256 a(state), b(state);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(a.next(), b.next());
+  // Seed whose SplitMix64 expansion starts with a zero word (seed = -gamma
+  // makes the first increment wrap to 0, and splitmix64_mix(0) == 0): the
+  // generator must still run fine — only ALL-zero states are degenerate.
+  Xoshiro256 partial(0ULL - 0x9e3779b97f4a7c15ULL);
+  bool any_nonzero = false;
+  for (int i = 0; i < 16; ++i) any_nonzero |= partial.next() != 0;
+  EXPECT_TRUE(any_nonzero);
+}
+
 TEST(Xoshiro256, UniformityCoarse) {
   // 10 bins, 100k draws: each bin within 10% of expectation.
   Xoshiro256 rng(99);

@@ -1,0 +1,269 @@
+// Golden-file round-trip tests for the `.ssg` binary CSR format: owned and
+// mmap'd loads must reproduce the in-memory Graph exactly, and corrupted or
+// truncated files must throw rather than hand back garbage.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "graph/ssg.hpp"
+#include "support/hash.hpp"
+
+namespace ssmis {
+namespace {
+
+class SsgTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ssmis_ssg_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const std::string& name) const { return (dir_ / name).string(); }
+
+  static std::vector<char> read_all(const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+  }
+
+  static void write_all(const std::string& p, const std::vector<char>& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  // Recomputes the header checksum over tampered payload bytes, simulating
+  // an external writer whose file is self-consistent but structurally wrong.
+  static void refresh_checksum(std::vector<char>& bytes) {
+    std::int64_t n = 0, adj_len = 0;
+    std::memcpy(&n, bytes.data() + 16, sizeof(n));
+    std::memcpy(&adj_len, bytes.data() + 24, sizeof(adj_len));
+    std::uint64_t h = kFnv1aBasis;
+    h = fnv1a(h, &n, sizeof(n));
+    h = fnv1a(h, &adj_len, sizeof(adj_len));
+    h = fnv1a(h, bytes.data() + io::kSsgHeaderBytes,
+              static_cast<std::size_t>(8 * (n + 1)));
+    h = fnv1a(h, bytes.data() + io::kSsgHeaderBytes + 8 * (n + 1),
+              static_cast<std::size_t>(4 * adj_len));
+    std::memcpy(bytes.data() + 32, &h, sizeof(h));
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(SsgTest, SaveLoadRoundTrip) {
+  const Graph g = gen::gnp(500, 0.02, 11);
+  const std::string p = path("a.ssg");
+  io::save_ssg(p, g);
+  EXPECT_EQ(static_cast<std::int64_t>(std::filesystem::file_size(p)),
+            io::ssg_file_bytes(g));
+  const Graph back = io::load_ssg(p);
+  EXPECT_EQ(g, back);
+  EXPECT_FALSE(back.is_mapped());
+}
+
+TEST_F(SsgTest, SaveMmapRoundTrip) {
+  const Graph g = gen::gnp(500, 0.02, 11);
+  const std::string p = path("a.ssg");
+  io::save_ssg(p, g);
+  const Graph mapped = io::mmap_ssg(p);
+  EXPECT_EQ(g, mapped);
+  // Mapped copies share the mapping and stay valid after the original handle
+  // goes away.
+  Graph copy;
+  {
+    const Graph inner = io::mmap_ssg(p);
+    copy = inner;
+  }
+  EXPECT_EQ(copy, g);
+  EXPECT_EQ(copy.num_edges(), g.num_edges());
+}
+
+TEST_F(SsgTest, EmptyAndEdgelessGraphsRoundTrip) {
+  for (const Graph& g : {Graph(), Graph::from_edges(7, {})}) {
+    const std::string p = path("e.ssg");
+    io::save_ssg(p, g);
+    EXPECT_EQ(io::load_ssg(p), g);
+    EXPECT_EQ(io::mmap_ssg(p), g);
+  }
+}
+
+TEST_F(SsgTest, MappedGraphSupportsAllQueries) {
+  const Graph g = gen::random_tree(200, 3);
+  const std::string p = path("t.ssg");
+  io::save_ssg(p, g);
+  const Graph mapped = io::mmap_ssg(p);
+  EXPECT_TRUE(mapped.is_mapped());
+  EXPECT_EQ(mapped.max_degree(), g.max_degree());
+  EXPECT_EQ(mapped.edge_list(), g.edge_list());
+  for (Vertex u = 0; u < g.num_vertices(); ++u)
+    EXPECT_EQ(mapped.degree(u), g.degree(u));
+}
+
+TEST_F(SsgTest, CorruptedAdjacencyByteThrows) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  const std::string p = path("c.ssg");
+  io::save_ssg(p, g);
+  auto bytes = read_all(p);
+  bytes[bytes.size() - 3] ^= 0x40;  // flip a bit deep in the adj array
+  write_all(p, bytes);
+  EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(p), std::runtime_error);
+}
+
+TEST_F(SsgTest, CorruptedChecksumFieldThrows) {
+  const Graph g = gen::gnp(100, 0.05, 5);
+  const std::string p = path("c2.ssg");
+  io::save_ssg(p, g);
+  auto bytes = read_all(p);
+  bytes[32] ^= 0x01;  // checksum field lives at header offset 32
+  write_all(p, bytes);
+  EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(p), std::runtime_error);
+}
+
+TEST_F(SsgTest, StructurallyInvalidButChecksummedFileThrows) {
+  // An external writer can produce a file whose checksum matches its own
+  // (broken) contents; the default kFull load must still reject structural
+  // violations — out-of-range ids and asymmetric rows — rather than hand
+  // the engine arrays that index out of bounds or desync its counters.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const std::string p = path("r.ssg");
+
+  // Case 1: out-of-range adjacency id.
+  io::save_ssg(p, g);
+  auto bytes = read_all(p);
+  const Vertex huge = 9;  // >= n
+  std::memcpy(bytes.data() + bytes.size() - sizeof(Vertex), &huge, sizeof(huge));
+  refresh_checksum(bytes);
+  write_all(p, bytes);
+  EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(p), std::runtime_error);
+
+  // Case 2: asymmetric rows (row 0 claims neighbor 3, row 3 says 2).
+  io::save_ssg(p, g);
+  bytes = read_all(p);
+  const std::size_t adj_start = io::kSsgHeaderBytes + 8 * (4 + 1);
+  const Vertex three = 3;  // row 0's single entry was 1
+  std::memcpy(bytes.data() + adj_start, &three, sizeof(three));
+  refresh_checksum(bytes);
+  write_all(p, bytes);
+  EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(p), std::runtime_error);
+}
+
+TEST_F(SsgTest, TrustedLoadSkipsDeepValidationButChecksOffsets) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  const std::string p = path("t2.ssg");
+  io::save_ssg(p, g);
+  // A valid file loads identically under the trusted fast path.
+  EXPECT_EQ(io::mmap_ssg(p, io::SsgValidation::kTrusted), g);
+  // Offsets are validated even when trusted (row iteration indexes with
+  // them): a non-monotone offset still throws.
+  auto bytes = read_all(p);
+  const std::int64_t bogus = -5;
+  std::memcpy(bytes.data() + io::kSsgHeaderBytes + 8, &bogus, sizeof(bogus));
+  write_all(p, bytes);
+  EXPECT_THROW(io::mmap_ssg(p, io::SsgValidation::kTrusted), std::runtime_error);
+}
+
+TEST_F(SsgTest, TruncatedFileThrows) {
+  const Graph g = gen::gnp(300, 0.03, 5);
+  const std::string p = path("t.ssg");
+  io::save_ssg(p, g);
+  auto bytes = read_all(p);
+  // Truncation below the header and mid-payload must both throw.
+  for (const std::size_t keep : {std::size_t{10}, bytes.size() / 2}) {
+    write_all(p, std::vector<char>(bytes.begin(), bytes.begin() + keep));
+    EXPECT_THROW(io::load_ssg(p), std::runtime_error) << keep;
+    EXPECT_THROW(io::mmap_ssg(p), std::runtime_error) << keep;
+  }
+}
+
+TEST_F(SsgTest, BadMagicAndVersionThrow) {
+  const Graph g = gen::gnp(50, 0.1, 5);
+  const std::string p = path("m.ssg");
+  io::save_ssg(p, g);
+  auto bytes = read_all(p);
+  {
+    auto tampered = bytes;
+    tampered[0] = 'X';
+    write_all(p, tampered);
+    EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  }
+  {
+    auto tampered = bytes;
+    tampered[8] = 99;  // version field
+    write_all(p, tampered);
+    EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+    EXPECT_THROW(io::mmap_ssg(p), std::runtime_error);
+  }
+  {
+    auto tampered = bytes;
+    tampered[12] ^= 0xff;  // endianness tag
+    write_all(p, tampered);
+    EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  }
+}
+
+TEST_F(SsgTest, HostileAdjLenHeaderThrows) {
+  // adj_len = real + 2^62 would overflow a naive `4 * adj_len` size check
+  // and sail into out-of-bounds reads; the loader must reject it loudly.
+  const Graph g = gen::gnp(100, 0.05, 5);
+  const std::string p = path("h.ssg");
+  io::save_ssg(p, g);
+  auto bytes = read_all(p);
+  std::int64_t adj_len;
+  std::memcpy(&adj_len, bytes.data() + 24, sizeof(adj_len));
+  adj_len += (std::int64_t{1} << 62);
+  std::memcpy(bytes.data() + 24, &adj_len, sizeof(adj_len));
+  write_all(p, bytes);
+  EXPECT_THROW(io::load_ssg(p), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(p), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(p, io::SsgValidation::kTrusted), std::runtime_error);
+}
+
+TEST_F(SsgTest, SavingOverTheMappedSourceFileIsSafe) {
+  // save_ssg writes through a scratch file + rename, so saving a graph over
+  // the very .ssg it is mmap'd from must neither corrupt the live mapping
+  // nor the resulting file (a plain truncating write would SIGBUS here).
+  const Graph g = gen::gnp(400, 0.02, 9);
+  const std::string p = path("self.ssg");
+  io::save_ssg(p, g);
+  const Graph mapped = io::mmap_ssg(p);
+  io::save_ssg(p, mapped);  // overwrite the backing file of `mapped`
+  EXPECT_EQ(mapped, g);     // old mapping still intact (old inode alive)
+  EXPECT_EQ(io::mmap_ssg(p), g);  // new file is complete and valid
+}
+
+TEST_F(SsgTest, MissingFileThrows) {
+  EXPECT_THROW(io::load_ssg(path("nope.ssg")), std::runtime_error);
+  EXPECT_THROW(io::mmap_ssg(path("nope.ssg")), std::runtime_error);
+}
+
+TEST_F(SsgTest, LoadGraphFileDispatchesOnExtension) {
+  const Graph g = gen::gnp(80, 0.05, 2);
+  const std::string bin = path("g.ssg");
+  io::save_ssg(bin, g);
+  EXPECT_EQ(io::load_graph_file(bin, /*prefer_mmap=*/true), g);
+  EXPECT_TRUE(io::load_graph_file(bin, true).is_mapped());
+  EXPECT_FALSE(io::load_graph_file(bin, /*prefer_mmap=*/false).is_mapped());
+
+  const std::string txt = path("g.edges");
+  {
+    std::ofstream out(txt);
+    io::write_edge_list(out, g);
+  }
+  EXPECT_EQ(io::load_graph_file(txt), g);
+}
+
+}  // namespace
+}  // namespace ssmis
