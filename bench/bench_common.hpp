@@ -1,16 +1,30 @@
 // Shared plumbing for the experiment binaries: standard header/footer
 // formatting so every table in bench_output.txt is self-describing, plus
-// the common CLI knobs (--trials, --seed, scale factors).
+// the common CLI knobs (--trials, --seed, scale factors, the parallel
+// runtime, and protocol selection).
+//
+// Protocol selection is uniform across every binary:
+//   --list-protocols     print every registered protocol and exit
+//   --protocol NAME      run the named protocol (validated against the
+//                        registry up front — unknown names abort loudly)
+//   --proto-KEY=VALUE    protocol-specific options (validated per protocol)
+// Binaries whose experiment is intrinsically tied to one protocol declare
+// ProtocolPolicy::kFixed and note (rather than silently ignore) an
+// attempted override.
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "graph/generators.hpp"
 #include "graph/ssg.hpp"
 #include "harness/experiment.hpp"
+#include "harness/registry.hpp"
 #include "harness/suites.hpp"
 #include "harness/trial_batch.hpp"
 #include "support/cli.hpp"
@@ -24,6 +38,8 @@ struct ExpContext {
   std::uint64_t seed;
   double scale;  // multiplies default problem sizes (--scale=2 for bigger runs)
   ParallelOptions parallel;  // --threads / --batch, shared across all binaries
+  std::string protocol;      // --protocol (validated), or the binary's default
+  ProtocolParams proto_params;  // --proto-KEY=VALUE options
   // --graph-file=path: a pre-built graph (`.ssg` binary, mmap'd read-only by
   // default, or whitespace edge list) substituted for *every* generated cell
   // graph, so one expensive 10^7-vertex construction is reused across all
@@ -35,6 +51,22 @@ struct ExpContext {
   void apply_parallel(MeasureConfig& config) const {
     config.threads = parallel.threads;
     config.batch = parallel.batch;
+  }
+
+  // Full protocol-generic wiring: the selected protocol, its options, and
+  // the parallel runtime. Cells that sweep protocols themselves set
+  // config.protocol after this.
+  void apply(MeasureConfig& config) const {
+    config.protocol = protocol;
+    config.params = proto_params;
+    apply_parallel(config);
+  }
+
+  // For protocol-sweep tables: the user's --protocol restricts the sweep to
+  // that one protocol; otherwise the binary's default list runs.
+  std::vector<std::string> protocols_or(std::vector<std::string> defaults) const {
+    if (args.has("protocol")) return {protocol};
+    return defaults;
   }
 
   // Scheduler for a binary-local trial loop (same knobs, same determinism
@@ -75,19 +107,86 @@ struct ExpContext {
 //           measures the load as a pipeline stage).
 enum class GraphFilePolicy { kLoad, kRefuse, kDefer };
 
+// How a binary treats --protocol:
+//   kSelectable (default) honor it (validated against the registry);
+//   kFixed      the experiment is specific to its protocols — an attempted
+//               override prints a note and the default runs.
+enum class ProtocolPolicy { kSelectable, kFixed };
+
+// Prints every registered protocol ("--list-protocols").
+inline void print_protocols(std::ostream& os) {
+  os << ProtocolRegistry::instance().describe_all();
+}
+
 inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
                                   const std::string& claim, int default_trials,
                                   GraphFilePolicy graph_file_policy =
-                                      GraphFilePolicy::kLoad) {
+                                      GraphFilePolicy::kLoad,
+                                  const std::string& default_protocol = "2state",
+                                  ProtocolPolicy protocol_policy =
+                                      ProtocolPolicy::kSelectable,
+                                  std::vector<std::string> extra_flags = {}) {
   ExpContext ctx;
   ctx.args = CliArgs::parse(argc, argv);
+  if (ctx.args.has("list-protocols")) {
+    print_protocols(std::cout);
+    std::exit(0);
+  }
+  // Reject typo'd flags loudly before anything runs with defaults.
+  std::vector<std::string> known = {
+      "trials",     "seed",          "scale",         "threads",
+      "batch",      "shard",         "graph-file",    "graph-mmap",
+      "graph-trusted", "protocol",   "list-protocols", "proto-*"};
+  known.insert(known.end(), extra_flags.begin(), extra_flags.end());
+  const auto unknown = ctx.args.unknown_options(known);
+  if (!unknown.empty()) {
+    for (const auto& err : unknown) std::cerr << "error: " << err << "\n";
+    std::exit(2);
+  }
   ctx.trials = static_cast<int>(ctx.args.get_int("trials", default_trials));
   ctx.seed = static_cast<std::uint64_t>(ctx.args.get_int("seed", 1));
   ctx.scale = ctx.args.get_double("scale", 1.0);
   ctx.parallel = parse_parallel_options(ctx.args);
+  ctx.protocol = default_protocol;
+  ctx.proto_params = protocol_params_from_args(ctx.args);
   std::cout << "#### Experiment " << id << "\n";
   std::cout << "# paper claim: " << claim << "\n";
   std::cout << "# trials/cell: " << ctx.trials << ", seed: " << ctx.seed << "\n";
+  if (protocol_policy == ProtocolPolicy::kFixed &&
+      !ctx.proto_params.keys().empty()) {
+    // Same hardening contract as unknown flags: an option that will not be
+    // honored must never be swallowed silently.
+    std::cout << "# note: --proto-* options ignored — this experiment sets "
+                 "its protocol options itself\n";
+  }
+  if (ctx.args.has("protocol")) {
+    const std::string requested = ctx.args.get_string("protocol", default_protocol);
+    if (protocol_policy == ProtocolPolicy::kFixed) {
+      std::cout << "# note: --protocol ignored — this experiment is specific "
+                   "to its protocol(s)\n";
+    } else if (!ProtocolRegistry::instance().contains(requested)) {
+      std::cerr << "error: " << "unknown --protocol '" << requested << "'\n";
+      std::cerr << "registered protocols:\n";
+      print_protocols(std::cerr);
+      std::exit(2);
+    } else {
+      ctx.protocol = requested;
+      std::cout << "# protocol: " << requested << "\n";
+    }
+  }
+  if (protocol_policy == ProtocolPolicy::kSelectable) {
+    // Probe construction on a single vertex: validates --proto-* option
+    // keys AND values against the selected protocol up front, so a bad
+    // knob exits 2 cleanly here instead of throwing out of a trial worker
+    // halfway through a table.
+    try {
+      const Graph probe = gen::path(1);
+      ProtocolRegistry::instance().make(ctx.protocol, probe, ctx.proto_params, 1);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
   if (ctx.args.has("graph-file")) {
     switch (graph_file_policy) {
       case GraphFilePolicy::kLoad:

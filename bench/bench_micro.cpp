@@ -14,6 +14,7 @@
 #include <benchmark/benchmark.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -25,7 +26,9 @@
 #include <vector>
 
 #include "core/init.hpp"
+#include "core/process.hpp"
 #include "harness/experiment.hpp"
+#include "harness/registry.hpp"
 #include "core/runner.hpp"
 #include "core/three_color.hpp"
 #include "core/three_state.hpp"
@@ -188,6 +191,10 @@ struct EngineBenchRow {
   std::int64_t trials_ok = 0;    // trial_batch rows only: stabilized trials
   double edges_per_sec = 0.0;    // graph_build rows only
   double peak_rss_mb = 0.0;      // graph_build rows only: process high-water mark
+  // Parallel rows recorded at a width beyond this host's cores measure
+  // oversubscription, not speedup — the marker makes the caveat machine-
+  // readable instead of a README footnote.
+  bool suspect = false;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -246,6 +253,14 @@ EngineBenchRow stabilized_row(const std::string& process, const std::string& gna
   return row;
 }
 
+// A parallel row recorded wider than this host's cores measured
+// oversubscription, not speedup. hardware_concurrency() may legally return
+// 0 (unknown): clamp so the threads=1 baselines can never be suspect.
+bool suspect_width(int threads) {
+  return static_cast<unsigned>(threads) >
+         std::max(1u, std::thread::hardware_concurrency());
+}
+
 // Sharded-stepping rows: ns/round of the 2-state decide phase at 1/2/4/8
 // shards on one large dense-ish graph (big worklists, so the shard grain is
 // actually exceeded). Shard counts beyond the host's core count record the
@@ -270,6 +285,7 @@ void append_sharded_rows(std::vector<EngineBenchRow>& rows) {
     row.rounds = r.rounds > 0 ? r.rounds : 1;
     row.ns_per_round = ns / static_cast<double>(row.rounds);
     row.threads = threads;
+    row.suspect = suspect_width(threads);
     rows.push_back(row);
   }
 }
@@ -282,7 +298,7 @@ void append_trial_batch_rows(std::vector<EngineBenchRow>& rows) {
   const std::string gname = "gnp_sweep_n2048_p=lnn/n";
   for (int threads : {1, 2, 4, 8}) {
     MeasureConfig config;
-    config.kind = ProcessKind::kTwoState;
+    config.protocol = "2state";
     config.trials = 48;
     config.seed = 1;
     config.max_rounds = 1000000;
@@ -300,6 +316,7 @@ void append_trial_batch_rows(std::vector<EngineBenchRow>& rows) {
     row.trials_ok = static_cast<std::int64_t>(m.summary.count);
     row.trials_per_sec = static_cast<double>(config.trials) * 1e9 / ns;
     row.threads = threads;
+    row.suspect = suspect_width(threads);
     rows.push_back(row);
   }
 }
@@ -383,6 +400,43 @@ void append_process_rows(std::vector<EngineBenchRow>& rows, const std::string& g
   }
 }
 
+// Near-stabilized stepping for EVERY registered protocol, driven through
+// the type-erased registry path (the same one measure_stabilization uses):
+// a new workload lands in this table with zero bench code. The networks and
+// the 3-state family keep re-randomizing at the fixed point by design, so
+// their per-round cost tracks |MIS|, not n; the 2-state family rows are the
+// O(1) active-set receipt.
+void append_protocol_rows(std::vector<EngineBenchRow>& rows) {
+  const Vertex n = 16384;
+  const Graph g = gen::gnp(n, 8.0 / static_cast<double>(n), 7);
+  const std::string gname = "gnp_avgdeg8_n" + std::to_string(n);
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const ProtocolParams params;
+    auto p = ProtocolRegistry::instance().make(name, g, params, 1);
+    const RunResult pre = p->run(1000000, TraceMode::kNone);
+    const std::int64_t reps = 200;
+    std::int64_t checksum = 0;
+    const auto start = Clock::now();
+    for (std::int64_t i = 0; i < reps; ++i) {
+      p->step();
+      checksum += p->snapshot().black;
+    }
+    benchmark::DoNotOptimize(checksum);
+    const double ns = elapsed_ns(start);
+    EngineBenchRow row;
+    row.process = name;
+    row.graph = gname;
+    row.phase = "protocol_stabilized_step";
+    row.n = n;
+    row.m = g.num_edges();
+    row.trace = true;
+    row.rounds = reps;
+    row.ns_per_round = ns / static_cast<double>(reps);
+    row.trials_ok = pre.stabilized ? 1 : 0;  // repurposed: pre-run stabilized?
+    rows.push_back(row);
+  }
+}
+
 void write_engine_json(const std::string& path) {
   std::vector<EngineBenchRow> rows;
   {
@@ -415,6 +469,8 @@ void write_engine_json(const std::string& path) {
         },
         200));
   }
+  // Near-stabilized ns/round for every registered protocol (registry path).
+  append_protocol_rows(rows);
   // Parallel-runtime rows (sharded stepping + batched trials at 1/2/4/8
   // threads). Interpret speedups against "host_threads" below: on a 1-core
   // host every width measures ~1x by physics, not by design.
@@ -428,15 +484,21 @@ void write_engine_json(const std::string& path) {
     std::cerr << "bench_micro: cannot open " << path << " for writing\n";
     std::exit(1);
   }
+  int suspect_parallel_rows = 0;
+  for (const EngineBenchRow& r : rows) suspect_parallel_rows += r.suspect ? 1 : 0;
   out << "{\n";
-  out << "  \"schema\": \"ssmis-bench-engine-v3\",\n";
+  out << "  \"schema\": \"ssmis-bench-engine-v4\",\n";
   out << "  \"description\": \"per-round stepping cost of the unified sparse "
-         "process engine, parallel-runtime rows (sharded_step ns/round "
-         "and trial_batch trials/sec at 1/2/4/8 threads), and graph-substrate "
-         "rows (graph_build edges/sec + peak RSS for the streaming CSR "
-         "builder and the .ssg save/mmap round-trip)\",\n";
+         "process engine, near-stabilized rows for every registry protocol "
+         "(protocol_stabilized_step), parallel-runtime rows (sharded_step "
+         "ns/round and trial_batch trials/sec at 1/2/4/8 threads), and "
+         "graph-substrate rows (graph_build edges/sec + peak RSS for the "
+         "streaming CSR builder and the .ssg save/mmap round-trip)\",\n";
   out << "  \"unit\": \"ns_per_round\",\n";
-  out << "  \"host_threads\": " << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"host_threads\": " << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
+  // Rows whose thread width exceeds host_threads measured oversubscription
+  // on this machine; diff tools must not read them as regressions.
+  out << "  \"suspect_parallel_rows\": " << suspect_parallel_rows << ",\n";
   out << "  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const EngineBenchRow& r = rows[i];
@@ -451,6 +513,9 @@ void write_engine_json(const std::string& path) {
     if (r.phase == "graph_build")
       out << ", \"edges_per_sec\": " << r.edges_per_sec
           << ", \"peak_rss_mb\": " << r.peak_rss_mb;
+    if (r.phase == "protocol_stabilized_step")
+      out << ", \"pre_run_stabilized\": " << (r.trials_ok ? "true" : "false");
+    if (r.suspect) out << ", \"suspect\": true";
     out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
   out << "  ]\n";

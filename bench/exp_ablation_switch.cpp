@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
       argc, argv, "A1 (ablation): phase-clock diameter parameter D",
       "the paper picks D = 3; D = 2 weakens the on-run bound, D = 4 adds "
       "states without benefit",
-      5);
+      5,
+      bench::GraphFilePolicy::kLoad, "3color", bench::ProtocolPolicy::kFixed);
 
   print_banner(std::cout, "switch run lengths by D on K_64 (20000 rounds)");
   {
@@ -58,22 +59,18 @@ int main(int argc, char** argv) {
       table.begin_row();
       table.add_cell(w.name);
       for (int d : {2, 3, 4}) {
-        const auto outcomes =
-            ctx.trial_batch(ctx.trials).map<double>([&](int trial) -> double {
-              const CoinOracle coins(ctx.seed + 100 +
-                                     static_cast<std::uint64_t>(trial));
-              ThreeColorMIS p(
-                  w.graph, make_init_g(w.graph, InitPattern::kUniformRandom, coins),
-                  std::make_unique<PhaseClockSwitch>(w.graph, d, coins), coins);
-              p.set_shards(ctx.shards());
-              const RunResult r = run_until_stabilized(p, 2000000);
-              return r.stabilized ? static_cast<double>(r.rounds) : -1.0;
-            });
-        std::vector<double> rounds;
-        for (double v : outcomes)
-          if (v >= 0.0) rounds.push_back(v);
-        const Summary s = summarize(rounds);
-        table.add_cell(format_double(s.mean, 1) + " (" + std::to_string(s.count) + "/" +
+        // The registry's 3color protocol with the generalized phase-clock
+        // switch (--proto-switch-d): no bespoke construction code.
+        MeasureConfig config;
+        ctx.apply_parallel(config);
+        config.protocol = "3color";
+        config.params.set("switch-d", std::to_string(d));
+        config.trials = ctx.trials;
+        config.seed = ctx.seed + 100;
+        config.max_rounds = 2000000;
+        const Measurements m = measure_stabilization(w.graph, config);
+        table.add_cell(format_double(m.summary.mean, 1) + " (" +
+                       std::to_string(m.summary.count) + "/" +
                        std::to_string(ctx.trials) + " ok)");
       }
     }

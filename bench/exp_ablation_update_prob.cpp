@@ -4,13 +4,10 @@
 // the "eager white" variant (white -> black with probability 1, as the
 // footnote suggests the definition could have been).
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/init.hpp"
-#include "core/runner.hpp"
-#include "core/two_state_variant.hpp"
-#include "core/verify.hpp"
 #include "graph/generators.hpp"
 #include "stats/summary.hpp"
 
@@ -18,31 +15,22 @@ using namespace ssmis;
 
 namespace {
 
+// One measurement cell = the registry's 2state-variant protocol with the
+// swept options; the shared harness owns trials, timeouts, and validity.
 Summary measure_variant(const Graph& g, double q, bool eager, int trials,
                         std::uint64_t seed, int* timeouts,
                         const bench::ExpContext& ctx) {
-  // One slot per trial: results are reduced in trial order, so the table is
-  // identical at any --threads value.
-  const auto outcomes =
-      ctx.trial_batch(trials).map<double>([&](int trial) -> double {
-        const CoinOracle coins(seed + static_cast<std::uint64_t>(trial));
-        TwoStateVariant p(g, make_init2(g, InitPattern::kUniformRandom, coins),
-                          coins, q, eager);
-        p.set_shards(ctx.shards());
-        const RunResult r = run_until_stabilized(p, 500000);
-        if (r.stabilized && is_mis(g, p.black_set()))
-          return static_cast<double>(r.rounds);
-        return -1.0;  // timeout marker
-      });
-  std::vector<double> rounds;
-  *timeouts = 0;
-  for (double v : outcomes) {
-    if (v >= 0.0)
-      rounds.push_back(v);
-    else
-      ++*timeouts;
-  }
-  return summarize(rounds);
+  MeasureConfig config;
+  ctx.apply_parallel(config);
+  config.protocol = "2state-variant";
+  config.params.set("black-bias", std::to_string(q));
+  config.params.set("eager-white", eager ? "1" : "0");
+  config.trials = trials;
+  config.seed = seed;
+  config.max_rounds = 500000;
+  const Measurements m = measure_stabilization(g, config);
+  *timeouts = m.timeouts;
+  return m.summary;
 }
 
 }  // namespace
@@ -51,7 +39,8 @@ int main(int argc, char** argv) {
   auto ctx = bench::init_experiment(
       argc, argv, "A2 (ablation): update probability and eager-white variant",
       "footnote 1: q = 1/2 chosen for analysis; moderate q works, extremes slow down",
-      10);
+      10,
+      bench::GraphFilePolicy::kLoad, "2state-variant", bench::ProtocolPolicy::kFixed);
 
   struct Workload { std::string name; Graph graph; };
   std::vector<Workload> workloads;

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
       argc, argv, "E12: baselines (Luby, sequential daemon, deterministic)",
       "the paper's processes are the only ones that are simultaneously "
       "self-stabilizing, constant-state, and round-efficient",
-      10);
+      10,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   const auto suite = ctx.suite_or([&] { return small_suite(ctx.seed); });
 
@@ -38,15 +39,14 @@ int main(int argc, char** argv) {
       table.begin_row();
       table.add_cell(cell.name);
       table.add_cell(static_cast<std::int64_t>(cell.graph.num_vertices()));
-      for (ProcessKind kind : {ProcessKind::kTwoState, ProcessKind::kThreeState,
-                               ProcessKind::kThreeColor}) {
+      for (const char* protocol : {"2state", "3state", "3color"}) {
         MeasureConfig config;
-        config.kind = kind;
+        ctx.apply_parallel(config);
+        config.protocol = protocol;
         config.init = InitPattern::kAllWhite;
         config.trials = ctx.trials;
         config.seed = ctx.seed;
         config.max_rounds = 2000000;
-        ctx.apply_parallel(config);
         const Measurements m = measure_stabilization(cell.graph, config);
         table.add_cell(m.summary.mean);
       }
@@ -76,15 +76,14 @@ int main(int argc, char** argv) {
       if (cell.graph.num_vertices() == 0) continue;
       table.begin_row();
       table.add_cell(cell.name);
-      for (ProcessKind kind : {ProcessKind::kTwoState, ProcessKind::kThreeState,
-                               ProcessKind::kThreeColor}) {
+      for (const char* protocol : {"2state", "3state", "3color"}) {
         MeasureConfig config;
-        config.kind = kind;
+        ctx.apply_parallel(config);
+        config.protocol = protocol;
         config.init = InitPattern::kAllBlack;
         config.trials = 3;
         config.seed = ctx.seed + 5;
         config.max_rounds = 2000000;
-        ctx.apply_parallel(config);
         const Measurements m = measure_stabilization(cell.graph, config);
         table.add_cell(m.timeouts == 0 ? "yes" : "NO");
       }

@@ -29,18 +29,18 @@ int main(int argc, char** argv) {
       30);
 
   const std::vector<Vertex> sizes = {64, 128, 256, 512, 1024};
-  for (ProcessKind kind : {ProcessKind::kTwoState, ProcessKind::kThreeState}) {
-    print_banner(std::cout, to_string(kind) + " process on K_n");
+  for (const std::string& protocol : ctx.protocols_or({"2state", "3state"})) {
+    print_banner(std::cout, protocol + " process on K_n");
     TextTable table({"n", "mean", "median", "p95", "max", "mean/log2(n)",
                      "p95/log2(n)", "p95/log2^2(n)"});
     for (Vertex n : sizes) {
       const Graph g = ctx.cell_graph([&] { return gen::complete(static_cast<Vertex>(n * ctx.scale)); });
       MeasureConfig config;
-      config.kind = kind;
+      ctx.apply(config);
+      config.protocol = protocol;
       config.trials = ctx.trials;
       config.seed = ctx.seed + static_cast<std::uint64_t>(n);
       config.max_rounds = 2000000;
-      ctx.apply_parallel(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(g.num_vertices());
       table.begin_row();
@@ -58,14 +58,14 @@ int main(int argc, char** argv) {
   }
 
   // Tail table (Theorem 8's 2^{-Theta(k)} lower-order statement).
-  print_banner(std::cout, "tail of T / log2(n) on K_256, 2-state");
+  print_banner(std::cout, "tail of T / log2(n) on K_256, " + ctx.protocol);
   {
     const Graph g = ctx.cell_graph([&] { return gen::complete(256); });
     MeasureConfig config;
+    ctx.apply(config);
     config.trials = std::max(200, ctx.trials * 4);
     config.seed = ctx.seed + 999;
     config.max_rounds = 2000000;
-    ctx.apply_parallel(config);
     const Measurements m = measure_stabilization(g, config);
     const double ln = bench::log2n(256);
     std::vector<double> normalized;

@@ -78,7 +78,8 @@ int main(int argc, char** argv) {
       argc, argv, "X4 (extension): activation-daemon spectrum",
       "randomized transitions stabilize under every daemon (Section 1's "
       "adversarial-scheduler observation)",
-      10);
+      10,
+      bench::GraphFilePolicy::kLoad, "daemon", bench::ProtocolPolicy::kFixed);
 
   struct Workload { std::string name; Graph graph; };
   std::vector<Workload> workloads;

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
       argc, argv, "E2 (Remark 9): sqrt(n) disjoint cliques K_sqrt(n)",
       "2-state needs Theta(log^2 n) in expectation and whp", 20);
 
-  print_banner(std::cout, "2-state on sqrt(n) x K_sqrt(n)");
+  print_banner(std::cout, ctx.protocol + " on sqrt(n) x K_sqrt(n)");
   TextTable table({"n", "side", "mean", "p95", "mean/log2(n)", "mean/log2^2(n)"});
   for (Vertex side : {8, 16, 24, 32, 48, 64}) {
     const Vertex n = side * side;
@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
     config.trials = ctx.trials;
     config.seed = ctx.seed + static_cast<std::uint64_t>(side);
     config.max_rounds = 2000000;
-    ctx.apply_parallel(config);
+    ctx.apply(config);
     const Measurements m = measure_stabilization(g, config);
     const double ln = bench::log2n(n);
     table.begin_row();

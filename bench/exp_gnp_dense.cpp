@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   };
 
   for (const auto& regime : regimes) {
-    print_banner(std::cout, "2-state on G(n,p), " + regime.name);
+    print_banner(std::cout, ctx.protocol + " on G(n,p), " + regime.name);
     TextTable table({"n", "p", "mean", "p95", "p95/log2(n)", "p95/log2^2(n)"});
     for (Vertex n : {256, 512, 1024, 2048}) {
       const double p = regime.p_of(static_cast<double>(n));
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + 47 + static_cast<std::uint64_t>(n);
       config.max_rounds = 1000000;
-      ctx.apply_parallel(config);
+      ctx.apply(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(n);
       table.begin_row();

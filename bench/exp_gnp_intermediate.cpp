@@ -21,7 +21,8 @@ using namespace ssmis;
 int main(int argc, char** argv) {
   auto ctx = bench::init_experiment(
       argc, argv, "E8 (Theorem 3/32 vs conjecture): intermediate G(n,p)",
-      "3-color is poly(log n) for ALL p (proven); 2-state conjectured", 5);
+      "3-color is poly(log n) for ALL p (proven); 2-state conjectured", 5,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   struct Cell {
     Vertex n;
@@ -41,15 +42,15 @@ int main(int argc, char** argv) {
     const Graph g = ctx.cell_graph([&] { return gen::gnp(cell.n, p, ctx.seed + static_cast<std::uint64_t>(cell.n)); });
 
     MeasureConfig c2;
-    c2.kind = ProcessKind::kTwoState;
+    ctx.apply_parallel(c2);
+    c2.protocol = "2state";
     c2.trials = ctx.trials;
     c2.seed = ctx.seed + 3;
     c2.max_rounds = 2000000;
-    ctx.apply_parallel(c2);
     const Measurements m2 = measure_stabilization(g, c2);
 
     MeasureConfig c3 = c2;
-    c3.kind = ProcessKind::kThreeColor;
+    c3.protocol = "3color";
     const Measurements m3 = measure_stabilization(g, c3);
 
     table.begin_row();

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
   auto ctx = bench::init_experiment(
       argc, argv, "E9 (Lemma 18): G(n,p) is (n,p)-good whp",
       "random G(n,p) satisfies P1-P6 with probability 1-O(n^-2)", 5,
-      bench::GraphFilePolicy::kRefuse);
+      bench::GraphFilePolicy::kRefuse, "2state", bench::ProtocolPolicy::kFixed);
 
   struct Cell {
     Vertex n;

@@ -24,7 +24,8 @@ using namespace ssmis;
 int main(int argc, char** argv) {
   auto ctx = bench::init_experiment(
       argc, argv, "E11 (Lemmas 6, 7): progress-lemma constants",
-      "k-active vertex stable black within log(k+1) rounds w.p. >= 1/(2ek)", 4000);
+      "k-active vertex stable black within log(k+1) rounds w.p. >= 1/(2ek)", 4000,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   const int trials = ctx.trials;
 

@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   cells.push_back({"K_1024", ctx.cell_graph([&] { return gen::complete(1024); })});
   cells.push_back({"torus 48x48", ctx.cell_graph([&] { return gen::torus(48, 48); })});
 
-  print_banner(std::cout, "per-vertex stabilization times (2-state, one run each)");
+  print_banner(std::cout, "per-vertex stabilization times (" + ctx.protocol + ", one run each)");
   TextTable table({"graph", "n", "median", "p90", "p99", "max (=global)",
                    "median/max"});
   for (auto& cell : cells) {
@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     config.trials = ctx.trials;
     config.seed = ctx.seed + 7;
     config.max_rounds = 1000000;
-    ctx.apply_parallel(config);
+    ctx.apply(config);
     // One per-vertex vector per trial (batched across the pool); pooled into
     // a single distribution. With the default --trials=1 this is exactly the
     // old single-run table.
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     MeasureConfig config;
     config.seed = ctx.seed + 7;
     config.max_rounds = 1000000;
-    ctx.apply_parallel(config);
+    ctx.apply(config);
     const Graph g = ctx.cell_graph([&] { return gen::gnp(4096, 0.002, ctx.seed); });
     const auto times = vertex_stabilization_times(g, config);
     std::vector<double> finite;

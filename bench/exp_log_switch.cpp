@@ -19,7 +19,8 @@ using namespace ssmis;
 int main(int argc, char** argv) {
   auto ctx = bench::init_experiment(
       argc, argv, "E10 (Lemma 27): logarithmic switch run lengths",
-      "S1 everywhere; S2 and S3 on diameter <= 2 graphs", 1);
+      "S1 everywhere; S2 and S3 on diameter <= 2 graphs", 1,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   struct Cell {
     std::string name;

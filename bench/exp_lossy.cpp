@@ -22,7 +22,8 @@ int main(int argc, char** argv) {
       argc, argv, "X3 (extension): lossy carrier sensing",
       "no claim in the paper; self-stabilization should degrade gracefully "
       "with the loss rate",
-      3);
+      3,
+      bench::GraphFilePolicy::kLoad, "beeping", bench::ProtocolPolicy::kFixed);
 
   const Graph g = ctx.cell_graph([&] { return gen::random_geometric(300, 0.09, ctx.seed); });
   std::cout << "radio graph: " << g.summary() << "\n";

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
       argc, argv, "E5 (Theorem 12): max-degree bound",
       "2-state is O(Delta log n) whp on max-degree-Delta graphs", 15);
 
-  print_banner(std::cout, "2-state on random d-regular graphs, n = 2048");
+  print_banner(std::cout, ctx.protocol + " on random d-regular graphs, n = 2048");
   {
     TextTable table({"d", "mean", "p95", "p95/log2(n)", "p95/(d*log2(n))"});
     for (int d : {4, 8, 16, 32, 64}) {
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + 100 + static_cast<std::uint64_t>(d);
       config.max_rounds = 1000000;
-      ctx.apply_parallel(config);
+      ctx.apply(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(2048);
       table.begin_row();
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     table.print(std::cout);
   }
 
-  print_banner(std::cout, "2-state on structured constant-degree graphs");
+  print_banner(std::cout, ctx.protocol + " on structured constant-degree graphs");
   {
     struct Cell { std::string name; Graph graph; int delta; };
     std::vector<Cell> cells;
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + 7;
       config.max_rounds = 1000000;
-      ctx.apply_parallel(config);
+      ctx.apply(config);
       const Measurements m = measure_stabilization(cell.graph, config);
       const double ln = bench::log2n(cell.graph.num_vertices());
       table.begin_row();

@@ -21,12 +21,13 @@ using namespace ssmis;
 
 namespace {
 
-Summary mis_sizes(const Graph& g, ProcessKind kind, int trials, std::uint64_t seed,
+Summary mis_sizes(const Graph& g, const std::string& protocol, int trials,
+                  std::uint64_t seed,
                   const bench::ExpContext& ctx) {
   const auto outcomes =
       ctx.trial_batch(trials).map<double>([&](int trial) -> double {
         MeasureConfig config;
-        config.kind = kind;
+        config.protocol = protocol;
         config.trials = 1;
         config.seed = seed + static_cast<std::uint64_t>(trial);
         config.max_rounds = 2000000;
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
       argc, argv, "X1 (extension): MIS size quality",
       "no size claim in the paper; processes should land between the exact "
       "minimum-maximal and maximum independent set sizes",
-      20);
+      20,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   print_banner(std::cout, "small graphs: exact extremes vs process output");
   {
@@ -67,9 +69,9 @@ int main(int argc, char** argv) {
     for (auto& cell : cells) {
       const auto i_min = independent_domination_number(cell.graph);
       const auto alpha = exact_max_independent_set(cell.graph).size();
-      const Summary s2 = mis_sizes(cell.graph, ProcessKind::kTwoState, ctx.trials,
+      const Summary s2 = mis_sizes(cell.graph, "2state", ctx.trials,
                                    ctx.seed + 11, ctx);
-      const Summary s3 = mis_sizes(cell.graph, ProcessKind::kThreeState, ctx.trials,
+      const Summary s3 = mis_sizes(cell.graph, "3state", ctx.trials,
                                    ctx.seed + 13, ctx);
       table.begin_row();
       table.add_cell(cell.name);
@@ -93,7 +95,7 @@ int main(int argc, char** argv) {
     TextTable table({"graph", "2-state mean", "2-state min..max", "greedy",
                      "mean/greedy"});
     for (auto& cell : cells) {
-      const Summary s2 = mis_sizes(cell.graph, ProcessKind::kTwoState, ctx.trials,
+      const Summary s2 = mis_sizes(cell.graph, "2state", ctx.trials,
                                    ctx.seed + 17, ctx);
       const auto greedy = static_cast<double>(greedy_mis(cell.graph).size());
       table.begin_row();

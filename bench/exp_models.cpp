@@ -29,7 +29,8 @@ int main(int argc, char** argv) {
       argc, argv, "E13: weak-communication model fidelity",
       "the processes ARE beeping/stone-age algorithms: model executions are "
       "bit-identical to the direct process simulations",
-      200);
+      200,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   const auto suite = ctx.suite_or([&] { return small_suite(ctx.seed); });
   const int rounds = ctx.trials;  // rounds compared per graph

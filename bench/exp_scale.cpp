@@ -43,7 +43,9 @@ int main(int argc, char** argv) {
       argc, argv, "SCALE: large-graph substrate pipeline",
       "streaming two-pass CSR + binary mmap reuse unlock n >= 10^7 within "
       "CI-class memory; the protocol itself is polylog and never the bottleneck",
-      1, bench::GraphFilePolicy::kDefer);  // the load is a timed stage below
+      1, bench::GraphFilePolicy::kDefer, "2state",
+      bench::ProtocolPolicy::kSelectable,
+      {"n", "p", "avg-deg", "max-rounds", "save"});  // load = timed stage below
 
   const Vertex n = static_cast<Vertex>(
       static_cast<double>(ctx.args.get_int("n", 2000000)) * ctx.scale);
@@ -122,20 +124,23 @@ int main(int argc, char** argv) {
   }
 
   {
+    // Any registry protocol drives the stabilize stage (--protocol NAME);
+    // the default matches the historical 2-state receipt.
     const auto start = Clock::now();
-    const CoinOracle coins(ctx.seed + 1);
-    TwoStateMIS process(g, make_init2(g, InitPattern::kUniformRandom, coins), coins);
-    process.set_shards(ctx.shards());
+    auto process = ProtocolRegistry::instance().make(
+        ctx.protocol, g, with_init(ctx.proto_params, InitPattern::kUniformRandom),
+        ctx.seed + 1);
+    process->set_shards(ctx.shards());
     const std::int64_t max_rounds = ctx.args.get_int("max-rounds", 1000000);
-    const RunResult r = run_until_stabilized(process, max_rounds);
+    const RunResult r = process->run(max_rounds, TraceMode::kNone);
     const double secs = seconds_since(start);
     table.begin_row();
-    table.add_cell(r.stabilized ? "2-state stabilized" : "2-state HORIZON HIT");
+    table.add_cell(ctx.protocol + (r.stabilized ? " stabilized" : " HORIZON HIT"));
     table.add_cell(secs, 3);
     table.add_cell("-");
     table.add_cell(mb(peak_rss_bytes()), 1);
-    table.add_cell(std::to_string(r.rounds) + " rounds, |MIS| = " +
-                   std::to_string(process.num_black()));
+    table.add_cell(std::to_string(r.rounds) + " rounds, |output set| = " +
+                   std::to_string(process->output_set().size()));
     table.print(std::cout);
     if (!r.stabilized) {
       bench::finish_experiment("FAILED: horizon hit before stabilization — "

@@ -42,27 +42,28 @@ int main(int argc, char** argv) {
       argc, argv, "F1 (progress trajectories)",
       "|V_t| decays geometrically; |A_t| collapses first (Lemma 21 phase), "
       "then residual cleanup (Lemmas 22-23)",
-      1);
+      1,
+      bench::GraphFilePolicy::kLoad, "2state", bench::ProtocolPolicy::kFixed);
 
   struct Cell {
     std::string name;
     Graph graph;
-    ProcessKind kind;
+    std::string protocol;
   };
   std::vector<Cell> cells;
-  cells.push_back({"2-state on K_1024", ctx.cell_graph([&] { return gen::complete(1024); }), ProcessKind::kTwoState});
+  cells.push_back({"2-state on K_1024", ctx.cell_graph([&] { return gen::complete(1024); }), "2state"});
   cells.push_back({"2-state on gnp2048 p=0.005", ctx.cell_graph([&] { return gen::gnp(2048, 0.005, ctx.seed); }),
-                   ProcessKind::kTwoState});
+                   "2state"});
   cells.push_back({"2-state on tree4096", ctx.cell_graph([&] { return gen::random_tree(4096, ctx.seed + 1); }),
-                   ProcessKind::kTwoState});
+                   "2state"});
   cells.push_back({"3-state on gnp2048 p=0.005", ctx.cell_graph([&] { return gen::gnp(2048, 0.005, ctx.seed); }),
-                   ProcessKind::kThreeState});
+                   "3state"});
   cells.push_back({"3-color on gnp512 p=0.1", ctx.cell_graph([&] { return gen::gnp(512, 0.1, ctx.seed + 2); }),
-                   ProcessKind::kThreeColor});
+                   "3color"});
 
   for (auto& cell : cells) {
     MeasureConfig config;
-    config.kind = cell.kind;
+    config.protocol = cell.protocol;
     config.seed = ctx.seed + 5;
     config.max_rounds = 2000000;
     config.threads = ctx.parallel.threads;  // traced_run shards the engine

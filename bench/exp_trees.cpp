@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   };
 
   for (const auto& family : families) {
-    print_banner(std::cout, "2-state on " + family.name);
+    print_banner(std::cout, ctx.protocol + " on " + family.name);
     TextTable table({"n", "arboricity<=", "mean", "p95", "p95/log2(n)"});
     for (Vertex n : {256, 1024, 4096, 16384}) {
       const Graph g = ctx.cell_graph([&] {
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
       config.trials = ctx.trials;
       config.seed = ctx.seed + static_cast<std::uint64_t>(n) * 7;
       config.max_rounds = 1000000;
-      ctx.apply_parallel(config);
+      ctx.apply(config);
       const Measurements m = measure_stabilization(g, config);
       const double ln = bench::log2n(g.num_vertices());
       table.begin_row();

@@ -1,11 +1,13 @@
 // Full-featured command-line simulator: the downstream user's entry point.
 //
-//   ./simulate --family=gnp --n=512 --p=0.05 --process=3color
+//   ./simulate --family=gnp --n=512 --p=0.05 --protocol=3color
 //              --init=all-black --seed=42 --dot=out.dot --csv=run.csv
 //
 // Families: gnp, gnm, clique, path, cycle, star, tree, rtree, binary, grid,
 //           torus, hypercube, regular, geometric, cliques, smallworld
-// Processes: 2state, 3state, 3color
+// Protocols: whatever the registry holds — ./simulate --list-protocols
+//            prints every name (protocol options pass as --proto-KEY=VALUE);
+//            --process remains as an alias for --protocol
 // Inits: all-white, all-black, random, alternating, high-degree, one-black
 // Parallel runtime: --threads N shards a single run's engine; with
 // --trials M > 1 whole runs batch across the pool instead (--shard to
@@ -19,9 +21,10 @@
 #include <iostream>
 #include <string>
 
+#include "core/process.hpp"
 #include "core/runner.hpp"
-#include "core/two_state.hpp"
 #include "core/verify.hpp"
+#include "harness/registry.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/ssg.hpp"
@@ -69,13 +72,6 @@ Graph make_graph(const CliArgs& args, std::uint64_t seed) {
   throw std::invalid_argument("unknown --family " + family);
 }
 
-ProcessKind parse_process(const std::string& name) {
-  if (name == "2state") return ProcessKind::kTwoState;
-  if (name == "3state") return ProcessKind::kThreeState;
-  if (name == "3color") return ProcessKind::kThreeColor;
-  throw std::invalid_argument("unknown --process " + name + " (2state|3state|3color)");
-}
-
 InitPattern parse_init(const std::string& name) {
   if (name == "all-white") return InitPattern::kAllWhite;
   if (name == "all-black") return InitPattern::kAllBlack;
@@ -91,6 +87,20 @@ InitPattern parse_init(const std::string& name) {
 int main(int argc, char** argv) {
   try {
     const CliArgs args = CliArgs::parse(argc, argv);
+    if (args.has("list-protocols")) {
+      std::cout << ProtocolRegistry::instance().describe_all();
+      return 0;
+    }
+    // A typo'd flag must not silently run the default configuration.
+    const auto unknown = args.unknown_options(
+        {"family", "n", "p", "d", "m", "seed", "init", "max-rounds", "trials",
+         "threads", "batch", "shard", "graph-file", "graph-mmap",
+         "graph-trusted", "save-graph", "csv", "dot", "protocol", "process",
+         "list-protocols", "proto-*"});
+    if (!unknown.empty()) {
+      for (const auto& err : unknown) std::cerr << "error: " << err << "\n";
+      return 2;
+    }
     for (const auto& err : args.errors()) std::cerr << "warning: " << err << "\n";
     const std::uint64_t seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
 
@@ -103,7 +113,12 @@ int main(int argc, char** argv) {
     }
     const ParallelOptions parallel = parse_parallel_options(args);
     MeasureConfig config;
-    config.kind = parse_process(args.get_string("process", "2state"));
+    // --protocol selects any registry entry; --process is the legacy alias.
+    // An unknown name aborts loudly in ProtocolRegistry::make (its error
+    // lists the registered protocols; main's catch prints it, exit 2).
+    config.protocol =
+        args.get_string("protocol", args.get_string("process", "2state"));
+    config.params = protocol_params_from_args(args);
     config.init = parse_init(args.get_string("init", "random"));
     config.seed = seed;
     config.max_rounds = args.get_int("max-rounds", 1000000);
@@ -114,7 +129,7 @@ int main(int argc, char** argv) {
     config.trials = static_cast<int>(args.get_int("trials", 1));
 
     std::cout << "graph:   " << g.summary() << "\n";
-    std::cout << "process: " << to_string(config.kind)
+    std::cout << "process: " << config.protocol
               << ", init: " << to_string(config.init) << ", seed: " << seed << "\n";
     if (parallel.threads > 1) {
       std::cout << "threads: " << parallel.threads << " ("
@@ -137,8 +152,16 @@ int main(int argc, char** argv) {
     std::cout << "result:  " << (r.stabilized ? "stabilized" : "HORIZON HIT")
               << " after " << r.rounds << " rounds\n";
     if (!r.trace.empty()) {
-      std::cout << "MIS size: " << r.trace.back().black
-                << " (greedy reference " << greedy_mis(g).size() << ")\n";
+      // |B_t| is protocol-defined: black vertices for the MIS family,
+      // claimed EDGES for matching — each gets the matching greedy reference.
+      if (config.protocol == "matching") {
+        std::cout << "stable |B_t|: " << r.trace.back().black
+                  << " claimed edges (greedy matching reference "
+                  << greedy_maximal_matching(g).size() << ")\n";
+      } else {
+        std::cout << "stable |B_t|: " << r.trace.back().black
+                  << " (greedy MIS reference " << greedy_mis(g).size() << ")\n";
+      }
       std::vector<double> unstable;
       for (const RoundStats& s : r.trace)
         unstable.push_back(static_cast<double>(s.unstable));
@@ -151,19 +174,14 @@ int main(int argc, char** argv) {
       std::cout << "trace csv written to " << args.get_string("csv", "run.csv") << "\n";
     }
     if (args.has("dot")) {
-      // Re-run the same seed to recover a final black set (traced_run
-      // reports counts only). Determinism makes this exact.
-      std::vector<Vertex> mis;
-      {
-        const CoinOracle coins(seed);
-        TwoStateMIS dummy(g, make_init2(g, config.init, coins), coins);
-        // For the DOT export, run the 2-state process regardless of kind —
-        // the highlight is illustrative.
-        while (!dummy.stabilized()) dummy.step();
-        mis = dummy.black_set();
-      }
+      // Re-run the same seed to recover the final output set (traced_run
+      // reports counts only). Determinism makes this exact — and the
+      // registry makes it the SELECTED protocol's output, not always 2state.
+      auto p = ProtocolRegistry::instance().make(
+          config.protocol, g, with_init(config.params, config.init), seed);
+      p->run(config.max_rounds, TraceMode::kNone);
       std::ofstream out(args.get_string("dot", "out.dot"));
-      io::write_dot(out, g, mis);
+      io::write_dot(out, g, p->output_set());
       std::cout << "dot written to " << args.get_string("dot", "out.dot") << "\n";
     }
     return r.stabilized ? 0 : 1;

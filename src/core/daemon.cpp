@@ -1,7 +1,13 @@
 #include "core/daemon.hpp"
 
+#include <memory>
 #include <sstream>
 #include <stdexcept>
+
+#include "core/init.hpp"
+#include "core/process.hpp"
+#include "harness/registry.hpp"
+#include "rng/splitmix64.hpp"
 
 namespace ssmis {
 
@@ -60,5 +66,87 @@ std::int64_t DaemonMIS::run(std::int64_t max_steps) {
   while (!stabilized() && steps_ - start < max_steps) step();
   return steps_ - start;
 }
+
+namespace {
+
+// Process adapter: one daemon STEP is the unit the harness counts (a
+// central step activates one vertex, a synchronous step up to n — steps are
+// not comparable across daemons, but the horizon semantics are uniform).
+class DaemonProcess final : public Process {
+ public:
+  explicit DaemonProcess(DaemonMIS process) : process_(std::move(process)) {}
+
+  const Graph& graph() const override { return process_.graph(); }
+  void step() override { process_.step(); }
+  std::int64_t round() const override { return process_.steps(); }
+  bool stabilized() const override { return process_.stabilized(); }
+
+  RoundStats snapshot() const override {
+    const DaemonMIS::Engine& e = process_.engine();
+    RoundStats s;
+    s.round = process_.steps();
+    s.black = e.color_count(Color2::kBlack);
+    s.active = e.num_active();
+    s.stable_black = e.num_stable_black();
+    s.unstable = e.num_unstable();
+    s.gray = 0;
+    return s;
+  }
+
+  // The base-class run() loop over the virtual step()/stabilized() is the
+  // right driver here: one daemon step is small, and the per-step virtual
+  // dispatch is noise next to the subset activation itself.
+
+  std::vector<Vertex> output_set() const override { return process_.black_set(); }
+  bool settled(Vertex u) const override { return !process_.engine().unstable(u); }
+
+  void verify_output() const override {
+    verify_mis_output(graph(), process_.black_set());
+  }
+
+  void force_state(Vertex u, std::uint8_t raw) override {
+    process_.force_color(u, static_cast<Color2>(raw));
+  }
+  std::uint8_t raw_state(Vertex u) const override {
+    return static_cast<std::uint8_t>(
+        process_.colors()[static_cast<std::size_t>(u)]);
+  }
+  int num_colors() const override { return process_.engine().num_colors(); }
+
+  void set_shards(int shards) override { process_.set_shards(shards); }
+
+ private:
+  DaemonMIS process_;
+};
+
+std::unique_ptr<ActivationDaemon> make_daemon(const std::string& kind,
+                                              double rho, std::uint64_t seed) {
+  if (kind == "synchronous") return std::make_unique<SynchronousDaemon>();
+  if (kind == "central") return std::make_unique<CentralDaemon>(seed);
+  if (kind == "random") return std::make_unique<RandomSubsetDaemon>(rho, seed);
+  if (kind == "pairs") return std::make_unique<AdversarialPairDaemon>();
+  throw std::invalid_argument(
+      "protocol daemon: unknown daemon '" + kind +
+      "' (valid: synchronous, central, random, pairs)");
+}
+
+const ProtocolRegistrar kDaemonProtocol{
+    "daemon",
+    "the 2-state rule under an activation daemon (--proto-daemon="
+    "synchronous|central|random|pairs, --proto-rho for random); the "
+    "synchronous daemon is bit-identical to 2state",
+    {"daemon", "rho"},
+    [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
+      const CoinOracle coins(seed);
+      // The daemon's private scheduler coins must not alias the process's
+      // phi_t(u) stream: derive its seed with one avalanching mix.
+      return std::make_unique<DaemonProcess>(DaemonMIS(
+          g, make_init2(g, params.init, coins),
+          make_daemon(params.get_string("daemon", "synchronous"),
+                      params.get_double("rho", 0.5), splitmix64_mix(seed)),
+          coins));
+    }};
+
+}  // namespace
 
 }  // namespace ssmis

@@ -124,6 +124,10 @@ class DaemonMIS {
   // Runs until stabilized or `max_steps`; returns steps used.
   std::int64_t run(std::int64_t max_steps);
 
+  // Fault-injection / test hook: overwrite one vertex's color in O(deg(u)),
+  // keeping the internal counters consistent. Not a daemon step.
+  void force_color(Vertex u, Color2 c) { engine_.force_color(u, c); }
+
   // Shards the subset-transition computation across the shared thread pool
   // (bit-identical trajectories at any value; 1 = sequential). The daemon's
   // own choice of subset stays sequential — only the chosen vertices'

@@ -227,6 +227,9 @@ class ProcessEngine {
   const Rule& rule() const { return rule_; }
   Rule& rule() { return rule_; }
 
+  // Raw color values run over [0, num_colors()).
+  int num_colors() const { return num_colors_; }
+
   const std::vector<Color>& colors() const { return colors_; }
   Color color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "core/process.hpp"
 #include "core/three_color.hpp"
 #include "core/three_state.hpp"
 #include "core/two_state.hpp"
@@ -21,6 +22,12 @@ namespace ssmis {
 struct FaultReport {
   Vertex corrupted = 0;  // number of vertices rewritten
 };
+
+// Type-erased injection for any registry protocol: corrupts each vertex
+// independently w.p. `fraction` through Process::inject_fault (which covers
+// the full per-vertex state, switch levels included). Deterministic per
+// (fraction, salt); `salt` decorrelates successive injections.
+FaultReport inject_faults(Process& process, double fraction, std::int64_t salt);
 
 // Each vertex is independently corrupted with probability `fraction`; a
 // corrupted vertex gets a uniformly random color (which may equal its

@@ -1,0 +1,169 @@
+// Type-erased process runtime: ONE measurement path for every rule.
+//
+// The harness used to dispatch on a closed `ProcessKind` enum, so only the
+// three headline processes could reach `measure_stabilization` and every
+// other protocol (daemon runs, the communication-model networks, any new
+// workload) needed bespoke driver code. `Process` erases the concrete
+// wrapper type behind the interface the harness actually needs —
+// step/round/stabilized/trace snapshot/output/verify/force-state/shards —
+// so trial scheduling, timeout accounting, per-vertex times, and the CLI
+// all work for any registered protocol (harness/registry.hpp).
+//
+// Cost model: type erasure sits at TRIAL granularity, not step granularity.
+// A trial calls the virtual `run()` once; the adapter's override immediately
+// re-enters the templated `run_until_stabilized` loop on the concrete
+// wrapper, so the hot stepping loop is exactly the pre-refactor code with
+// zero added indirection. Drivers that interleave work between rounds
+// (per-vertex times, the interactive simulator) pay one virtual call per
+// ROUND — noise next to the O(|A_t| + sum deg(changed)) round body.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+#include "core/trace.hpp"
+#include "core/verify.hpp"
+#include "graph/graph.hpp"
+
+namespace ssmis {
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual const Graph& graph() const = 0;
+
+  // One synchronous round (or one daemon step, for scheduler-driven
+  // protocols — `round()` then counts steps; the horizon semantics match).
+  virtual void step() = 0;
+  virtual std::int64_t round() const = 0;
+
+  // The protocol's own fixed-point predicate: for the MIS family this is
+  // "the claimed set is an MIS", for matching "no vertex wants to move".
+  virtual bool stabilized() const = 0;
+
+  // The paper's bookkeeping aggregates for this round (B_t, A_t, I_t, V_t,
+  // Gamma_t — protocols reinterpret them as documented in their adapter).
+  virtual RoundStats snapshot() const = 0;
+
+  // Runs until stabilized() or `max_rounds` further rounds. The default
+  // implementation loops over the virtual step(); engine-wrapper adapters
+  // override it with the devirtualized run_until_stabilized hot loop.
+  virtual RunResult run(std::int64_t max_rounds, TraceMode mode) {
+    RunResult result;
+    if (mode == TraceMode::kPerRound) result.trace.push_back(snapshot());
+    const std::int64_t start = round();
+    while (!stabilized() && round() - start < max_rounds) {
+      step();
+      if (mode == TraceMode::kPerRound) result.trace.push_back(snapshot());
+    }
+    result.stabilized = stabilized();
+    result.rounds = round() - start;
+    return result;
+  }
+
+  // The protocol's output: the claimed MIS / matched vertices / etc.,
+  // ascending. Meaningful once stabilized (and best-effort before).
+  virtual std::vector<Vertex> output_set() const = 0;
+
+  // u is covered by the protocol's stable structure (u ∈ N+(I_t) for the
+  // MIS family; protocol-defined otherwise). Drives the per-vertex
+  // stabilization-time tables; must be monotone once no faults are injected
+  // for protocols that report such tables.
+  virtual bool settled(Vertex u) const = 0;
+
+  // Checks the stabilized output against the protocol's global validity
+  // predicate (is_mis, is_maximal_matching, ...) and throws std::logic_error
+  // naming the violation if it fails — the harness never reports an invalid
+  // "success". Called by the harness after every stabilized trial.
+  virtual void verify_output() const = 0;
+
+  // Fault-injection hook: overwrite one vertex's raw state byte, keeping
+  // the engine's counters/worklist consistent. Throws std::out_of_range /
+  // std::invalid_argument on a bad vertex or state value.
+  virtual void force_state(Vertex u, std::uint8_t raw_state) = 0;
+
+  // Raw state byte of u (the engine color; decodes per protocol).
+  virtual std::uint8_t raw_state(Vertex u) const = 0;
+
+  // Number of raw state values force_state accepts.
+  virtual int num_colors() const = 0;
+
+  // Corrupts u's FULL per-vertex state (auxiliary clocks included) from 64
+  // random bits — the transient-fault primitive behind the generic
+  // inject_faults(Process&, ...). Returns whether any state was actually
+  // overwritten (a protocol may have nothing to corrupt at u, e.g. an
+  // isolated vertex under edge-state protocols). Default: a uniformly
+  // random raw color.
+  virtual bool inject_fault(Vertex u, std::uint64_t w) {
+    force_state(u, static_cast<std::uint8_t>(
+                       w % static_cast<std::uint64_t>(num_colors())));
+    return true;
+  }
+
+  // Shards the engine's decide phase across the shared thread pool
+  // (bit-identical trajectories at any value; 1 = sequential).
+  virtual void set_shards(int shards) = 0;
+};
+
+// Adapter for wrappers satisfying the MisProcess concept (the direct
+// engine-backed processes). Derived classes supply output/verify/settled/
+// force-state; stepping, snapshots, and the devirtualized run loop are
+// shared here.
+template <MisProcess P>
+class MisProcessAdapter : public Process {
+ public:
+  explicit MisProcessAdapter(P process) : process_(std::move(process)) {}
+
+  const Graph& graph() const override { return process_.graph(); }
+  void step() override { process_.step(); }
+  std::int64_t round() const override { return process_.round(); }
+  bool stabilized() const override { return process_.stabilized(); }
+  RoundStats snapshot() const override { return ssmis::snapshot(process_); }
+  RunResult run(std::int64_t max_rounds, TraceMode mode) override {
+    return run_until_stabilized(process_, max_rounds, mode);
+  }
+  void set_shards(int shards) override { process_.set_shards(shards); }
+
+  P& impl() { return process_; }
+  const P& impl() const { return process_; }
+
+ protected:
+  P process_;
+};
+
+// Shared adapter for the MIS-family wrappers: output is the black set, the
+// validity predicate is is_mis, settled(u) is membership in N+(I_t) (the
+// engine's coverage counters), and faults route through force_color. P must
+// additionally expose colors()/black_set()/force_color()/engine().
+// Protocols with auxiliary per-vertex state (the 3-color switch) subclass
+// and override inject_fault.
+template <MisProcess P>
+class MisFamilyAdapter : public MisProcessAdapter<P> {
+ public:
+  using Color = typename P::Engine::Color;
+  using MisProcessAdapter<P>::MisProcessAdapter;
+
+  std::vector<Vertex> output_set() const override {
+    return this->process_.black_set();
+  }
+  bool settled(Vertex u) const override {
+    return !this->process_.engine().unstable(u);
+  }
+  void verify_output() const override {
+    verify_mis_output(this->graph(), this->process_.black_set());
+  }
+  void force_state(Vertex u, std::uint8_t raw) override {
+    this->process_.force_color(u, static_cast<Color>(raw));
+  }
+  std::uint8_t raw_state(Vertex u) const override {
+    return static_cast<std::uint8_t>(
+        this->process_.colors()[static_cast<std::size_t>(u)]);
+  }
+  int num_colors() const override { return this->process_.engine().num_colors(); }
+};
+
+}  // namespace ssmis

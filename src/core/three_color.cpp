@@ -1,9 +1,60 @@
 #include "core/three_color.hpp"
 
+#include <memory>
+
+#include "core/init.hpp"
+#include "core/process.hpp"
+#include "harness/registry.hpp"
+
 namespace ssmis {
 
 std::vector<Vertex> ThreeColorMIS::black_set() const {
   return engine_.select([this](Vertex u) { return black(u); });
 }
+
+namespace {
+
+// The 3-color per-vertex state includes the switch level: a transient fault
+// corrupts both (mirroring inject_faults(ThreeColorMIS&) in core/faults.cpp).
+class ThreeColorProcess final : public MisFamilyAdapter<ThreeColorMIS> {
+ public:
+  using MisFamilyAdapter<ThreeColorMIS>::MisFamilyAdapter;
+
+  bool inject_fault(Vertex u, std::uint64_t w) override {
+    process_.force_color(u, static_cast<ColorG>(w % 3));
+    PhaseClock* clock = nullptr;
+    if (auto* sw = dynamic_cast<RandomizedLogSwitch*>(&process_.switch_process()))
+      clock = &sw->clock();
+    else if (auto* sw = dynamic_cast<PhaseClockSwitch*>(&process_.switch_process()))
+      clock = &sw->clock();
+    if (clock != nullptr) {
+      clock->force_level(u, static_cast<int>(
+                                (w >> 8) %
+                                static_cast<std::uint64_t>(clock->num_states())));
+    }
+    return true;
+  }
+};
+
+const ProtocolRegistrar kThreeColorProtocol{
+    "3color",
+    "the paper's 3-color MIS process (Definition 28) with the randomized "
+    "6-state logarithmic switch (or --proto-switch-d=D for the generalized "
+    "phase-clock switch): poly(log n) on G(n,p) for ALL p",
+    {"switch-d"},
+    [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
+      const CoinOracle coins(seed);
+      auto init = make_init_g(g, params.init, coins);
+      if (params.has("switch-d")) {
+        const int d = static_cast<int>(params.get_int("switch-d", 3));
+        return std::make_unique<ThreeColorProcess>(ThreeColorMIS(
+            g, std::move(init), std::make_unique<PhaseClockSwitch>(g, d, coins),
+            coins));
+      }
+      return std::make_unique<ThreeColorProcess>(
+          ThreeColorMIS::with_randomized_switch(g, std::move(init), coins));
+    }};
+
+}  // namespace
 
 }  // namespace ssmis

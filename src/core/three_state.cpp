@@ -1,9 +1,31 @@
 #include "core/three_state.hpp"
 
+#include <memory>
+
+#include "core/init.hpp"
+#include "core/process.hpp"
+#include "harness/registry.hpp"
+
 namespace ssmis {
 
 std::vector<Vertex> ThreeStateMIS::black_set() const {
   return engine_.select([this](Vertex u) { return black(u); });
 }
+
+namespace {
+
+const ProtocolRegistrar kThreeStateProtocol{
+    "3state",
+    "the paper's 3-state MIS process (Definition 5): stable blacks keep "
+    "re-randomizing black1/black0; stone-age implementable, no collision "
+    "detection",
+    {},
+    [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
+      const CoinOracle coins(seed);
+      return std::make_unique<MisFamilyAdapter<ThreeStateMIS>>(
+          ThreeStateMIS(g, make_init3(g, params.init, coins), coins));
+    }};
+
+}  // namespace
 
 }  // namespace ssmis

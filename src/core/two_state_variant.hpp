@@ -104,6 +104,10 @@ class TwoStateVariant {
   double black_bias() const { return engine_.rule().black_bias(); }
   bool eager_white() const { return engine_.rule().eager_white(); }
 
+  // Fault-injection / test hook: overwrite one vertex's color in O(deg(u)),
+  // keeping the internal counters consistent.
+  void force_color(Vertex u, Color2 c) { engine_.force_color(u, c); }
+
   // Shards the decide phase across the shared thread pool (bit-identical
   // trajectories at any value; 1 = sequential).
   void set_shards(int shards) { engine_.set_shards(shards); }

@@ -7,6 +7,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -32,6 +33,27 @@ bool is_mis(const Graph& g, const std::vector<Vertex>& members);
 // the set is an MIS. For test failure messages.
 std::optional<std::string> find_mis_violation(const Graph& g,
                                               const std::vector<char>& in_set);
+
+// Harness-side validity abort shared by every MIS-family Process adapter:
+// throws std::logic_error naming the violation unless `claimed` is an MIS.
+void verify_mis_output(const Graph& g, const std::vector<Vertex>& claimed);
+
+// Matching validity over an explicit EDGE list: every listed pair is a real
+// edge of g and no vertex appears twice.
+bool is_matching(const Graph& g, const std::vector<Edge>& matching);
+
+// Maximal matching: a matching such that every edge of g shares an endpoint
+// with a matching edge (nothing can be added).
+bool is_maximal_matching(const Graph& g, const std::vector<Edge>& matching);
+
+// First maximal-matching violation, or nullopt. For test failure messages
+// and the harness's validity aborts.
+std::optional<std::string> find_matching_violation(
+    const Graph& g, const std::vector<Edge>& matching);
+
+// Deterministic greedy maximal matching (ascending edge order): the
+// reference answer for size comparisons. Returns matched pairs (u < v).
+std::vector<Edge> greedy_maximal_matching(const Graph& g);
 
 // Deterministic greedy MIS (ascending vertex order): the reference answer
 // for size comparisons.

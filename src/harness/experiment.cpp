@@ -1,62 +1,32 @@
 #include "harness/experiment.hpp"
 
-#include <stdexcept>
+#include <memory>
 
-#include "core/runner.hpp"
-#include "core/three_color.hpp"
-#include "core/three_state.hpp"
-#include "core/two_state.hpp"
-#include "core/verify.hpp"
+#include "core/process.hpp"
 #include "harness/trial_batch.hpp"
 
 namespace ssmis {
 
-std::string to_string(ProcessKind kind) {
-  switch (kind) {
-    case ProcessKind::kTwoState: return "2-state";
-    case ProcessKind::kThreeState: return "3-state";
-    case ProcessKind::kThreeColor: return "3-color";
-  }
-  return "?";
-}
-
 namespace {
 
-template <MisProcess P>
-RunResult run_and_check(const Graph& g, P& process, std::int64_t max_rounds,
-                        TraceMode mode) {
-  RunResult result = run_until_stabilized(process, max_rounds, mode);
-  if (result.stabilized && !is_mis(g, process.black_set()))
-    throw std::logic_error("experiment: process stabilized on a non-MIS");
-  return result;
+ProtocolParams params_for(const MeasureConfig& config) {
+  return with_init(config.params, config.init);
 }
 
-// One trial: construct the process for `seed`, shard its engine `shards`
-// ways (1 = sequential), run to stabilization or the horizon. Thread-safe
+// One trial: construct the protocol's process for `seed` via the registry,
+// shard its engine `shards` ways (1 = sequential), run to stabilization or
+// the horizon, and check the stabilized output's validity. Thread-safe
 // across concurrent calls with distinct seeds: the graph is read-only and
-// every process owns its state.
+// every process owns its state. Type erasure sits here, at trial
+// granularity — run() devirtualizes into the wrapper's hot loop.
 RunResult run_one(const Graph& g, const MeasureConfig& config, std::uint64_t seed,
                   TraceMode mode, int shards) {
-  const CoinOracle coins(seed);
-  switch (config.kind) {
-    case ProcessKind::kTwoState: {
-      TwoStateMIS process(g, make_init2(g, config.init, coins), coins);
-      process.set_shards(shards);
-      return run_and_check(g, process, config.max_rounds, mode);
-    }
-    case ProcessKind::kThreeState: {
-      ThreeStateMIS process(g, make_init3(g, config.init, coins), coins);
-      process.set_shards(shards);
-      return run_and_check(g, process, config.max_rounds, mode);
-    }
-    case ProcessKind::kThreeColor: {
-      ThreeColorMIS process = ThreeColorMIS::with_randomized_switch(
-          g, make_init_g(g, config.init, coins), coins);
-      process.set_shards(shards);
-      return run_and_check(g, process, config.max_rounds, mode);
-    }
-  }
-  throw std::logic_error("experiment: unknown process kind");
+  const std::unique_ptr<Process> process =
+      ProtocolRegistry::instance().make(config.protocol, g, params_for(config), seed);
+  process->set_shards(shards);
+  const RunResult result = process->run(config.max_rounds, mode);
+  if (result.stabilized) process->verify_output();  // throws on invalid output
+  return result;
 }
 
 // Batched trials shard nothing (one core per trial); sharded mode gives the
@@ -101,59 +71,33 @@ RunResult traced_run(const Graph& g, const MeasureConfig& config) {
 
 namespace {
 
-// Marks vertices covered by N+(stable blacks) under `process`'s current
-// colors and records first-cover rounds.
-template <typename Process>
-void record_coverage(const Graph& g, const Process& process, std::int64_t round,
-                     std::vector<std::int64_t>* times) {
-  for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    if (!process.stable_black(u)) continue;
-    auto mark = [&](Vertex v) {
-      auto& t = (*times)[static_cast<std::size_t>(v)];
-      if (t < 0) t = round;
-    };
-    mark(u);
-    for (Vertex v : g.neighbors(u)) mark(v);
+// Records first-settled rounds. For the MIS family, settled(u) reads the
+// engine's stable-black coverage counters — exactly u ∈ N+(I_t), what the
+// pre-registry driver derived by re-marking N+(stable blacks) every round.
+void record_settled(const Process& process, std::int64_t round,
+                    std::vector<std::int64_t>* times) {
+  const Vertex n = process.graph().num_vertices();
+  for (Vertex u = 0; u < n; ++u) {
+    auto& t = (*times)[static_cast<std::size_t>(u)];
+    if (t < 0 && process.settled(u)) t = round;
   }
-}
-
-template <typename Process>
-std::vector<std::int64_t> per_vertex_times(const Graph& g, Process& process,
-                                           std::int64_t max_rounds) {
-  std::vector<std::int64_t> times(static_cast<std::size_t>(g.num_vertices()), -1);
-  record_coverage(g, process, 0, &times);
-  std::int64_t round = 0;
-  while (!process.stabilized() && round < max_rounds) {
-    process.step();
-    ++round;
-    record_coverage(g, process, round, &times);
-  }
-  return times;
 }
 
 std::vector<std::int64_t> per_vertex_times_one(const Graph& g,
                                                const MeasureConfig& config,
                                                std::uint64_t seed, int shards) {
-  const CoinOracle coins(seed);
-  switch (config.kind) {
-    case ProcessKind::kTwoState: {
-      TwoStateMIS process(g, make_init2(g, config.init, coins), coins);
-      process.set_shards(shards);
-      return per_vertex_times(g, process, config.max_rounds);
-    }
-    case ProcessKind::kThreeState: {
-      ThreeStateMIS process(g, make_init3(g, config.init, coins), coins);
-      process.set_shards(shards);
-      return per_vertex_times(g, process, config.max_rounds);
-    }
-    case ProcessKind::kThreeColor: {
-      ThreeColorMIS process = ThreeColorMIS::with_randomized_switch(
-          g, make_init_g(g, config.init, coins), coins);
-      process.set_shards(shards);
-      return per_vertex_times(g, process, config.max_rounds);
-    }
+  const std::unique_ptr<Process> process =
+      ProtocolRegistry::instance().make(config.protocol, g, params_for(config), seed);
+  process->set_shards(shards);
+  std::vector<std::int64_t> times(static_cast<std::size_t>(g.num_vertices()), -1);
+  record_settled(*process, 0, &times);
+  std::int64_t round = 0;
+  while (!process->stabilized() && round < config.max_rounds) {
+    process->step();
+    ++round;
+    record_settled(*process, round, &times);
   }
-  throw std::logic_error("vertex_stabilization_times: unknown process kind");
+  return times;
 }
 
 }  // namespace

@@ -1,6 +1,12 @@
 // Shared experiment driver: every bench binary measures stabilization times
 // through this module so trials, seeds, initial patterns, timeout handling,
 // and the parallel runtime are uniform across the reproduction tables.
+//
+// Protocol dispatch goes through the ProtocolRegistry (harness/registry.hpp):
+// any registered protocol — the paper's processes, the communication-model
+// networks, daemon runs, new workloads — measures through the exact same
+// path. The registry-era drivers are bit-identical to the deleted
+// ProcessKind enum dispatch (golden fingerprints in tests/test_registry.cpp).
 #pragma once
 
 #include <cstdint>
@@ -10,16 +16,17 @@
 #include "core/init.hpp"
 #include "core/trace.hpp"
 #include "graph/graph.hpp"
+#include "harness/registry.hpp"
 #include "stats/summary.hpp"
 
 namespace ssmis {
 
-enum class ProcessKind { kTwoState, kThreeState, kThreeColor };
-
-std::string to_string(ProcessKind kind);
-
 struct MeasureConfig {
-  ProcessKind kind = ProcessKind::kTwoState;
+  // Registered protocol name (see ProtocolRegistry::names()) plus its
+  // construction options. `init` is kept alongside for convenience; the
+  // harness folds it into the params before each construction.
+  std::string protocol = "2state";
+  ProtocolParams params;
   InitPattern init = InitPattern::kUniformRandom;
   int trials = 20;
   std::uint64_t seed = 1;
@@ -49,12 +56,13 @@ struct Measurements {
   Summary summary;   // over stabilization_rounds
 };
 
-// Runs `config.trials` independent executions of the chosen process on `g`
+// Runs `config.trials` independent executions of the chosen protocol on `g`
 // (seeds seed, seed+1, ...), each from `config.init` states, and verifies
-// that every stabilized run's black set is an MIS (aborts via exception if
-// not — the harness never reports an invalid "success"). Trials are
-// scheduled over TrialBatch per config.threads/config.batch; the returned
-// Measurements are identical for every thread count.
+// every stabilized run's output against the protocol's validity predicate
+// (aborts via exception if invalid — the harness never reports an invalid
+// "success"). Trials are scheduled over TrialBatch per
+// config.threads/config.batch; the returned Measurements are identical for
+// every thread count.
 Measurements measure_stabilization(const Graph& g, const MeasureConfig& config);
 
 // Single traced run, for shape plots. config.threads > 1 shards the
@@ -62,10 +70,11 @@ Measurements measure_stabilization(const Graph& g, const MeasureConfig& config);
 RunResult traced_run(const Graph& g, const MeasureConfig& config);
 
 // Per-vertex stabilization times of one run: entry u is the first round at
-// the end of which u is covered by N+(I_t) (stability is monotone, so this
-// is u's stabilization time per Section 2's definition), or -1 if the run
-// hit the horizon before u stabilized. Used by the local-vs-global
-// convergence experiment: most vertices settle long before the last one.
+// the end of which the protocol reports u settled (for the MIS family, u
+// covered by N+(I_t) — stability is monotone, so this is u's stabilization
+// time per Section 2's definition), or -1 if the run hit the horizon before
+// u settled. Used by the local-vs-global convergence experiment: most
+// vertices settle long before the last one.
 std::vector<std::int64_t> vertex_stabilization_times(const Graph& g,
                                                      const MeasureConfig& config);
 

@@ -162,6 +162,10 @@ class BeepingNetwork {
   // executions at any value; 1 = sequential).
   void set_shards(int shards) { engine_.set_shards(shards); }
 
+  // Fault-injection / test hook: overwrite one node's automaton state in
+  // O(deg(u)), keeping the beep counters consistent. Not a round.
+  void force_state(Vertex u, std::uint8_t s) { engine_.force_color(u, s); }
+
   const Engine& engine() const { return engine_; }
 
  private:

@@ -1,6 +1,13 @@
 #include "models/mis_automata.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "core/init.hpp"
+#include "core/process.hpp"
+#include "core/verify.hpp"
+#include "harness/registry.hpp"
 
 namespace ssmis {
 
@@ -80,5 +87,195 @@ std::uint8_t ThreeColorStoneAgeAutomaton::next(std::uint8_t state,
   }
   return encode(next_color, next_level);
 }
+
+namespace {
+
+// --- registry adapters ------------------------------------------------------
+//
+// The network protocols run the MIS automata through the communication-model
+// simulators. The engine does not track MIS stability for generic automata
+// (kTracksStability is off), so the adapters read the fixed point off the
+// engine worklist instead: a stabilized configuration leaves only benign
+// vertices scheduled, and every scheduled vertex is inspected in
+// O(|worklist|) — the same order as the round cost itself. snapshot()
+// reports B_t (in-MIS states) and the scheduled-set size as the activity
+// column; the coverage aggregates (I_t, V_t) are not tracked and read 0.
+
+// 2-state MIS as a beeping automaton (sender collision detection).
+class BeepingMisProcess final : public Process {
+ public:
+  BeepingMisProcess(const Graph& g, std::vector<std::uint8_t> init,
+                    const CoinOracle& coins, bool sender_cd, double loss)
+      : net_(g, automaton_, std::move(init), coins, sender_cd) {
+    // Unconditional: set_loss_probability validates the range, so a bad
+    // --proto-loss (negative, NaN, >= 1) aborts instead of silently
+    // running lossless.
+    net_.set_loss_probability(loss);
+  }
+
+  const Graph& graph() const override { return net_.graph(); }
+  void step() override { net_.step(); }
+  std::int64_t round() const override { return net_.round(); }
+
+  // With sender collision detection, every MIS violation keeps its vertex
+  // scheduled, so lossless runs read stabilization off the worklist size
+  // (O(1)) and lossy runs scan the worklist (covered whites stay scheduled
+  // because a lost carrier-sense bit could wake them — any scheduled black,
+  // or scheduled white hearing no beep, is a violation). WITHOUT sender CD
+  // a conflicting black never hears its rival and falls off the worklist
+  // while the configuration is invalid, so that (demonstration) mode pays
+  // an O(n) scan per check instead of misreporting a stuck execution as
+  // stabilized.
+  bool stabilized() const override {
+    const auto& e = net_.engine();
+    if (!net_.sender_collision_detection()) {
+      for (Vertex u = 0; u < graph().num_vertices(); ++u) {
+        const bool black = net_.state(u) == TwoStateBeepAutomaton::kBlack;
+        if (black ? e.counter(u, 0) > 0 : e.counter(u, 0) == 0) return false;
+      }
+      return true;
+    }
+    if (net_.loss_probability() == 0.0) return e.num_scheduled() == 0;
+    for (Vertex u : e.worklist().items()) {
+      if (net_.state(u) == TwoStateBeepAutomaton::kBlack || e.counter(u, 0) == 0)
+        return false;
+    }
+    return true;
+  }
+
+  RoundStats snapshot() const override {
+    RoundStats s;
+    s.round = net_.round();
+    s.black = net_.engine().color_count(TwoStateBeepAutomaton::kBlack);
+    s.active = net_.engine().num_scheduled();
+    return s;
+  }
+
+  std::vector<Vertex> output_set() const override { return net_.claimed_mis(); }
+
+  // u is covered by a stable black (a beeping node hearing silence).
+  bool settled(Vertex u) const override {
+    const auto& e = net_.engine();
+    auto stable_black = [&](Vertex v) {
+      return net_.state(v) == TwoStateBeepAutomaton::kBlack && e.counter(v, 0) == 0;
+    };
+    if (stable_black(u)) return true;
+    for (Vertex v : graph().neighbors(u))
+      if (stable_black(v)) return true;
+    return false;
+  }
+
+  void verify_output() const override {
+    verify_mis_output(graph(), net_.claimed_mis());
+  }
+
+  void force_state(Vertex u, std::uint8_t raw) override {
+    net_.force_state(u, raw);
+  }
+  std::uint8_t raw_state(Vertex u) const override { return net_.state(u); }
+  int num_colors() const override { return net_.engine().num_colors(); }
+  void set_shards(int shards) override { net_.set_shards(shards); }
+
+ private:
+  TwoStateBeepAutomaton automaton_;  // must outlive (and precede) net_
+  BeepingNetwork net_;
+};
+
+// 3-state MIS as a 2-channel stone-age automaton (no collision detection).
+class StoneAgeMisProcess final : public Process {
+ public:
+  StoneAgeMisProcess(const Graph& g, std::vector<std::uint8_t> init,
+                     const CoinOracle& coins)
+      : net_(g, automaton_, std::move(init), coins) {}
+
+  const Graph& graph() const override { return net_.graph(); }
+  void step() override { net_.step(); }
+  std::int64_t round() const override { return net_.round(); }
+
+  // Stable blacks stay scheduled forever (they re-randomize black1/black0
+  // by design), so the worklist never empties: stabilized ⟺ every
+  // scheduled vertex is a black hearing no black neighbor (whites off the
+  // worklist are covered by construction).
+  bool stabilized() const override {
+    const auto& e = net_.engine();
+    for (Vertex u : e.worklist().items()) {
+      if (net_.state(u) == ThreeStateStoneAgeAutomaton::kWhite) return false;
+      if (e.counter(u, 0) + e.counter(u, 1) != 0) return false;
+    }
+    return true;
+  }
+
+  RoundStats snapshot() const override {
+    RoundStats s;
+    s.round = net_.round();
+    s.black = net_.engine().color_count(ThreeStateStoneAgeAutomaton::kBlack0) +
+              net_.engine().color_count(ThreeStateStoneAgeAutomaton::kBlack1);
+    s.active = net_.engine().num_scheduled();
+    return s;
+  }
+
+  std::vector<Vertex> output_set() const override { return net_.claimed_mis(); }
+
+  bool settled(Vertex u) const override {
+    const auto& e = net_.engine();
+    auto stable_black = [&](Vertex v) {
+      return net_.state(v) != ThreeStateStoneAgeAutomaton::kWhite &&
+             e.counter(v, 0) + e.counter(v, 1) == 0;
+    };
+    if (stable_black(u)) return true;
+    for (Vertex v : graph().neighbors(u))
+      if (stable_black(v)) return true;
+    return false;
+  }
+
+  void verify_output() const override {
+    verify_mis_output(graph(), net_.claimed_mis());
+  }
+
+  void force_state(Vertex u, std::uint8_t raw) override {
+    net_.force_state(u, raw);
+  }
+  std::uint8_t raw_state(Vertex u) const override { return net_.state(u); }
+  int num_colors() const override { return net_.engine().num_colors(); }
+  void set_shards(int shards) override { net_.set_shards(shards); }
+
+ private:
+  ThreeStateStoneAgeAutomaton automaton_;  // must outlive (and precede) net_
+  StoneAgeNetwork net_;
+};
+
+const ProtocolRegistrar kBeepingProtocol{
+    "beeping",
+    "the 2-state MIS automaton in the beeping model (1 bit/round; "
+    "--proto-sender-cd=0 disables sender collision detection, "
+    "--proto-loss sets the carrier-sense loss rate); lossless runs are "
+    "bit-identical to 2state",
+    {"sender-cd", "loss"},
+    [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
+      const CoinOracle coins(seed);
+      const auto c2 = make_init2(g, params.init, coins);
+      std::vector<std::uint8_t> init(c2.size());
+      for (std::size_t i = 0; i < c2.size(); ++i)
+        init[i] = TwoStateBeepAutomaton::encode(c2[i]);
+      return std::make_unique<BeepingMisProcess>(
+          g, std::move(init), coins, params.get_bool("sender-cd", true),
+          params.get_double("loss", 0.0));
+    }};
+
+const ProtocolRegistrar kStoneAgeProtocol{
+    "stoneage",
+    "the 3-state MIS automaton in the synchronous stone-age model "
+    "(2 channels, no collision detection); bit-identical to 3state",
+    {},
+    [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
+      const CoinOracle coins(seed);
+      const auto c3 = make_init3(g, params.init, coins);
+      std::vector<std::uint8_t> init(c3.size());
+      for (std::size_t i = 0; i < c3.size(); ++i)
+        init[i] = ThreeStateStoneAgeAutomaton::encode(c3[i]);
+      return std::make_unique<StoneAgeMisProcess>(g, std::move(init), coins);
+    }};
+
+}  // namespace
 
 }  // namespace ssmis

@@ -85,6 +85,30 @@ bool CliArgs::has(const std::string& name) const {
   return options_.count(name) > 0;
 }
 
+std::vector<std::string> CliArgs::unknown_options(
+    const std::vector<std::string>& known) const {
+  std::string valid;
+  for (const std::string& k : known) {
+    if (!valid.empty()) valid += ", ";
+    valid += "--" + k;
+  }
+  std::vector<std::string> out;
+  for (const auto& [name, value] : options_) {
+    bool ok = false;
+    for (const std::string& k : known) {
+      if (!k.empty() && k.back() == '*'
+              ? name.rfind(k.substr(0, k.size() - 1), 0) == 0
+              : name == k) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok)
+      out.push_back("unknown flag --" + name + " (valid flags: " + valid + ")");
+  }
+  return out;
+}
+
 ParallelOptions parse_parallel_options(const CliArgs& args) {
   ParallelOptions out;
   out.threads = static_cast<int>(args.get_int("threads", 1));

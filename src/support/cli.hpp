@@ -46,6 +46,17 @@ class CliArgs {
 
   bool has(const std::string& name) const;
 
+  // All parsed options, name -> raw value (for generic forwarding, e.g. the
+  // protocol registry's `--proto-KEY=VALUE` namespace).
+  const std::map<std::string, std::string>& options() const { return options_; }
+
+  // Unknown-option rejection: one error message per parsed option whose
+  // name is neither in `known` (exact match) nor covered by a `known` entry
+  // ending in '*' (prefix wildcard, e.g. "proto-*"). Each message lists the
+  // valid flags — a typo'd `--protocal` must not silently run the default.
+  std::vector<std::string> unknown_options(
+      const std::vector<std::string>& known) const;
+
   // Positional (non --option) arguments in order of appearance.
   const std::vector<std::string>& positional() const { return positional_; }
 

@@ -77,7 +77,7 @@ TEST(Integration, ThreeColorHandlesIntermediateRegime) {
   const double p = std::pow(static_cast<double>(n), -0.25);
   const Graph g = gen::gnp(n, p, 31);
   MeasureConfig config;
-  config.kind = ProcessKind::kThreeColor;
+  config.protocol = "3color";
   config.trials = 5;
   config.max_rounds = 500000;
   const Measurements m = measure_stabilization(g, config);

@@ -110,17 +110,18 @@ TEST(LocalTimes, MedianBelowMaxOnLargeGraphs) {
   EXPECT_LT(median, max);
 }
 
-TEST(LocalTimes, WorksForAllProcessKinds) {
+TEST(LocalTimes, WorksForAllRegisteredProtocols) {
+  // Every registered protocol — networks, daemon, and the new workloads
+  // included — reports per-vertex settle times through the one shared path.
   const Graph g = gen::gnp(40, 0.15, 37);
-  for (ProcessKind kind :
-       {ProcessKind::kTwoState, ProcessKind::kThreeState, ProcessKind::kThreeColor}) {
+  for (const std::string& protocol : ProtocolRegistry::instance().names()) {
     MeasureConfig config;
-    config.kind = kind;
+    config.protocol = protocol;
     config.seed = 41;
     config.max_rounds = 500000;
     const auto times = vertex_stabilization_times(g, config);
-    ASSERT_EQ(times.size(), 40u) << to_string(kind);
-    for (std::int64_t t : times) EXPECT_GE(t, 0) << to_string(kind);
+    ASSERT_EQ(times.size(), 40u) << protocol;
+    for (std::int64_t t : times) EXPECT_GE(t, 0) << protocol;
   }
 }
 

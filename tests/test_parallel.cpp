@@ -229,10 +229,9 @@ void expect_measurements_equal(const Measurements& a, const Measurements& b,
 
 TEST(TrialBatchScheduling, MeasurementsIdenticalAcrossThreadCounts) {
   const Graph g = gen::gnp(256, 0.03, 5);
-  for (ProcessKind kind : {ProcessKind::kTwoState, ProcessKind::kThreeState,
-                           ProcessKind::kThreeColor}) {
+  for (const char* protocol : {"2state", "3state", "3color"}) {
     MeasureConfig config;
-    config.kind = kind;
+    config.protocol = protocol;
     config.trials = 12;
     config.seed = 100;
     config.max_rounds = 100000;

@@ -140,7 +140,7 @@ TEST(Faults, FullFractionTouchesEveryVertex) {
 TEST(Harness, MeasureStabilizationVerifiesMis) {
   const Graph g = gen::complete(16);
   MeasureConfig config;
-  config.kind = ProcessKind::kTwoState;
+  config.protocol = "2state";
   config.trials = 10;
   config.max_rounds = 100000;
   const Measurements m = measure_stabilization(g, config);
@@ -151,21 +151,20 @@ TEST(Harness, MeasureStabilizationVerifiesMis) {
 
 TEST(Harness, AllThreeKindsRun) {
   const Graph g = gen::gnp(30, 0.2, 41);
-  for (ProcessKind kind :
-       {ProcessKind::kTwoState, ProcessKind::kThreeState, ProcessKind::kThreeColor}) {
+  for (const char* protocol : {"2state", "3state", "3color"}) {
     MeasureConfig config;
-    config.kind = kind;
+    config.protocol = protocol;
     config.trials = 3;
     config.max_rounds = 200000;
     const Measurements m = measure_stabilization(g, config);
-    EXPECT_EQ(m.timeouts, 0) << to_string(kind);
+    EXPECT_EQ(m.timeouts, 0) << protocol;
   }
 }
 
 TEST(Harness, TracedRunEndsStable) {
   const Graph g = gen::complete(12);
   MeasureConfig config;
-  config.kind = ProcessKind::kThreeState;
+  config.protocol = "3state";
   const RunResult r = traced_run(g, config);
   ASSERT_TRUE(r.stabilized);
   EXPECT_FALSE(r.trace.empty());
@@ -174,7 +173,7 @@ TEST(Harness, TracedRunEndsStable) {
 TEST(Harness, TimeoutsReported) {
   const Graph g = gen::complete(64);
   MeasureConfig config;
-  config.kind = ProcessKind::kTwoState;
+  config.protocol = "2state";
   config.init = InitPattern::kAllBlack;
   config.trials = 5;
   config.max_rounds = 1;  // cannot stabilize in one round

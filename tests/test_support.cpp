@@ -67,6 +67,40 @@ TEST(Cli, HasDetectsPresence) {
   EXPECT_FALSE(args.has("y"));
 }
 
+TEST(Cli, UnknownOptionsAcceptsKnownFlags) {
+  const auto args = parse({"--trials=5", "--seed", "9", "--shard"});
+  EXPECT_TRUE(args.unknown_options({"trials", "seed", "shard"}).empty());
+}
+
+TEST(Cli, UnknownOptionsRejectsTyposListingValidFlags) {
+  // The motivating bug: --protocal must not silently run the default.
+  const auto args = parse({"--protocal=3state", "--trials=5"});
+  const auto errors = args.unknown_options({"protocol", "trials"});
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("--protocal"), std::string::npos);
+  EXPECT_NE(errors[0].find("--protocol"), std::string::npos);
+  EXPECT_NE(errors[0].find("--trials"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionsSupportsPrefixWildcards) {
+  const auto args = parse({"--proto-loss=0.1", "--proto-rho=0.5", "--protx=1"});
+  const auto errors = args.unknown_options({"proto-*"});
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("--protx"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionsReportsEveryOffender) {
+  const auto args = parse({"--a=1", "--b=2"});
+  EXPECT_EQ(args.unknown_options({"c"}).size(), 2u);
+  EXPECT_TRUE(args.unknown_options({}).empty() == args.options().empty());
+}
+
+TEST(Cli, OptionsExposesParsedMap) {
+  const auto args = parse({"--proto-loss=0.1", "--n=4"});
+  ASSERT_EQ(args.options().size(), 2u);
+  EXPECT_EQ(args.options().at("proto-loss"), "0.1");
+}
+
 TEST(Table, AlignsColumns) {
   TextTable t({"name", "value"});
   t.add_row({"a", "1"});
