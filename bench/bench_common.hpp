@@ -40,6 +40,12 @@ struct ExpContext {
   ParallelOptions parallel;  // --threads / --batch, shared across all binaries
   std::string protocol;      // --protocol (validated), or the binary's default
   ProtocolParams proto_params;  // --proto-KEY=VALUE options
+  // --graph-compressed: run every cell on compressed adjacency storage
+  // (generated graphs are transcoded after construction, a --graph-file
+  // override at load). Trajectories are bit-identical to plain storage —
+  // the cross-representation tests pin that — so this is purely a memory-
+  // footprint knob.
+  bool compress_graphs = false;
   // --graph-file=path: a pre-built graph (`.ssg` binary, mmap'd read-only by
   // default, or whitespace edge list) substituted for *every* generated cell
   // graph, so one expensive 10^7-vertex construction is reused across all
@@ -78,13 +84,35 @@ struct ExpContext {
   // Engine shard budget for a single run driven directly by the binary.
   int shards() const { return parallel.batch ? 1 : parallel.threads; }
 
-  // The graph for one experiment cell: the --graph-file override when given,
-  // otherwise whatever `make` generates. Returning by value is cheap either
-  // way — Graph is a shared-storage handle.
+  // Applies the --graph-compressed policy to a freshly generated graph.
+  Graph maybe_compress(Graph g) const {
+    if (compress_graphs && !g.is_compressed()) return Graph::compress(g);
+    return g;
+  }
+
+  // Loads the --graph-file (honoring --graph-mmap/--graph-trusted and the
+  // --graph-compressed transcode). An unreadable, corrupt, or unsupported-
+  // version file is an operator error shared by every binary: one line +
+  // exit 2, like bad flags — not an uncaught runtime_error. Used by the
+  // default kLoad path below and by kDefer binaries that time the load
+  // themselves (exp_scale).
+  Graph load_graph_file_or_exit() const {
+    try {
+      return maybe_compress(io::load_graph_file_from_args(args));
+    } catch (const std::runtime_error& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }
+
+  // The graph for one experiment cell: the --graph-file override when given
+  // (already transcoded at load under --graph-compressed), otherwise
+  // whatever `make` generates. Returning by value is cheap either way —
+  // Graph is a shared-storage handle.
   template <typename MakeGraph>
   Graph cell_graph(MakeGraph&& make) const {
     if (graph_override) return *graph_override;
-    return std::forward<MakeGraph>(make)();
+    return maybe_compress(std::forward<MakeGraph>(make)());
   }
 
   // Named-suite variant for the cross-cutting binaries: --graph-file
@@ -94,7 +122,9 @@ struct ExpContext {
   template <typename MakeSuite>
   std::vector<NamedGraph> suite_or(MakeSuite&& make) const {
     if (graph_override) return {{"graph-file", *graph_override}};
-    return std::forward<MakeSuite>(make)();
+    std::vector<NamedGraph> suite = std::forward<MakeSuite>(make)();
+    for (NamedGraph& cell : suite) cell.graph = maybe_compress(std::move(cell.graph));
+    return suite;
   }
 };
 
@@ -136,7 +166,8 @@ inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
   std::vector<std::string> known = {
       "trials",     "seed",          "scale",         "threads",
       "batch",      "shard",         "graph-file",    "graph-mmap",
-      "graph-trusted", "protocol",   "list-protocols", "proto-*"};
+      "graph-trusted", "graph-compressed", "protocol", "list-protocols",
+      "proto-*"};
   known.insert(known.end(), extra_flags.begin(), extra_flags.end());
   const auto unknown = ctx.args.unknown_options(known);
   if (!unknown.empty()) {
@@ -149,6 +180,7 @@ inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
   ctx.parallel = parse_parallel_options(ctx.args);
   ctx.protocol = default_protocol;
   ctx.proto_params = protocol_params_from_args(ctx.args);
+  ctx.compress_graphs = ctx.args.get_bool("graph-compressed", false);
   std::cout << "#### Experiment " << id << "\n";
   std::cout << "# paper claim: " << claim << "\n";
   std::cout << "# trials/cell: " << ctx.trials << ", seed: " << ctx.seed << "\n";
@@ -187,14 +219,18 @@ inline ExpContext init_experiment(int argc, char** argv, const std::string& id,
       std::exit(2);
     }
   }
+  if (ctx.compress_graphs) {
+    std::cout << "# graph-compressed: every cell graph runs on compressed "
+                 "adjacency storage (bit-identical trajectories)\n";
+  }
   if (ctx.args.has("graph-file")) {
     switch (graph_file_policy) {
       case GraphFilePolicy::kLoad:
-        ctx.graph_override = io::load_graph_file_from_args(ctx.args);
+        ctx.graph_override = ctx.load_graph_file_or_exit();
         std::cout << "# graph-file: " << ctx.args.get_string("graph-file", "")
-                  << " -> " << ctx.graph_override->summary()
-                  << (ctx.graph_override->is_mapped() ? " (mmap)" : "")
-                  << "; overrides every generated cell graph\n";
+                  << " -> " << ctx.graph_override->summary() << " ("
+                  << ctx.graph_override->storage_mode()
+                  << "); overrides every generated cell graph\n";
         break;
       case GraphFilePolicy::kRefuse:
         std::cout << "# note: --graph-file ignored — this experiment samples a "

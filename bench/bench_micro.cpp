@@ -180,7 +180,7 @@ struct EngineBenchRow {
   std::string process;
   std::string graph;
   std::string phase;  // "full_run", "stabilized_step", "sharded_step",
-                      // "trial_batch", "graph_build"
+                      // "trial_batch", "graph_build", "compressed_codec"
   Vertex n = 0;
   std::int64_t m = 0;
   bool trace = false;
@@ -191,6 +191,8 @@ struct EngineBenchRow {
   std::int64_t trials_ok = 0;    // trial_batch rows only: stabilized trials
   double edges_per_sec = 0.0;    // graph_build rows only
   double peak_rss_mb = 0.0;      // graph_build rows only: process high-water mark
+  double endpoints_per_sec = 0.0;  // compressed_codec rows: decode throughput
+  double bytes_per_edge = 0.0;     // compressed_codec rows: on-disk density
   // Parallel rows recorded at a width beyond this host's cores measure
   // oversubscription, not speedup — the marker makes the caveat machine-
   // readable instead of a README footnote.
@@ -365,6 +367,48 @@ void append_graph_build_rows(std::vector<EngineBenchRow>& rows) {
   std::filesystem::remove_all(dir);
 }
 
+// Compressed-adjacency codec rows: full-sweep decode throughput (streaming
+// RowStream decode of every row, endpoints/sec) plus the storage density in
+// bytes/edge against the plain CSR equivalent. The decode rate bounds the
+// per-round cost penalty of running a process on compressed storage; the
+// density is the RSS lever that makes 10^8 vertices fit.
+void append_compressed_codec_rows(std::vector<EngineBenchRow>& rows) {
+  for (Vertex n : {1 << 18, 1 << 20}) {
+    const double p = 8.0 / static_cast<double>(n);
+    const Graph g = gen::gnp(n, p, 7);
+    const Graph c = Graph::compress(g);
+    // Warm + measured full-row sweeps.
+    NeighborScratch scratch;
+    std::int64_t checksum = 0;
+    const int sweeps = 5;
+    const auto start = Clock::now();
+    for (int s = 0; s < sweeps; ++s) {
+      Graph::RowStream stream(c);
+      for (Vertex u = 0; u < c.num_vertices(); ++u)
+        for (Vertex v : stream.next(scratch)) checksum += v;
+    }
+    const double ns = elapsed_ns(start);
+    volatile std::int64_t sink = checksum;  // keep the sweeps observable
+    (void)sink;
+
+    EngineBenchRow row;
+    row.process = "compressed_decode";
+    row.graph = "gnp_avgdeg8_n" + std::to_string(n);
+    row.phase = "compressed_codec";
+    row.n = n;
+    row.m = c.num_edges();
+    row.endpoints_per_sec =
+        static_cast<double>(2 * c.num_edges()) * sweeps * 1e9 / ns;
+    row.bytes_per_edge = c.num_edges() > 0
+                             ? static_cast<double>(io::ssg_file_bytes(c)) /
+                                   static_cast<double>(c.num_edges())
+                             : 0.0;
+    // No peak_rss_mb here: the process high-water mark is monotone and by
+    // this point reflects the earlier graph_build rows, not the codec.
+    rows.push_back(row);
+  }
+}
+
 void append_process_rows(std::vector<EngineBenchRow>& rows, const std::string& gname,
                          const Graph& g) {
   const CoinOracle coins(1);
@@ -478,6 +522,8 @@ void write_engine_json(const std::string& path) {
   append_trial_batch_rows(rows);
   // Graph-substrate rows: streaming build throughput + .ssg round-trip.
   append_graph_build_rows(rows);
+  // Compressed-adjacency codec rows: decode throughput + bytes/edge.
+  append_compressed_codec_rows(rows);
 
   std::ofstream out(path);
   if (!out) {
@@ -487,13 +533,15 @@ void write_engine_json(const std::string& path) {
   int suspect_parallel_rows = 0;
   for (const EngineBenchRow& r : rows) suspect_parallel_rows += r.suspect ? 1 : 0;
   out << "{\n";
-  out << "  \"schema\": \"ssmis-bench-engine-v4\",\n";
+  out << "  \"schema\": \"ssmis-bench-engine-v5\",\n";
   out << "  \"description\": \"per-round stepping cost of the unified sparse "
          "process engine, near-stabilized rows for every registry protocol "
          "(protocol_stabilized_step), parallel-runtime rows (sharded_step "
          "ns/round and trial_batch trials/sec at 1/2/4/8 threads), and "
          "graph-substrate rows (graph_build edges/sec + peak RSS for the "
-         "streaming CSR builder and the .ssg save/mmap round-trip)\",\n";
+         "streaming CSR builder and the .ssg save/mmap round-trip), and "
+         "compressed-adjacency rows (compressed_codec: full-sweep decode "
+         "endpoints/sec and on-disk bytes/edge of the varint/delta codec)\",\n";
   out << "  \"unit\": \"ns_per_round\",\n";
   out << "  \"host_threads\": " << std::max(1u, std::thread::hardware_concurrency()) << ",\n";
   // Rows whose thread width exceeds host_threads measured oversubscription
@@ -513,6 +561,9 @@ void write_engine_json(const std::string& path) {
     if (r.phase == "graph_build")
       out << ", \"edges_per_sec\": " << r.edges_per_sec
           << ", \"peak_rss_mb\": " << r.peak_rss_mb;
+    if (r.phase == "compressed_codec")
+      out << ", \"endpoints_per_sec\": " << r.endpoints_per_sec
+          << ", \"bytes_per_edge\": " << r.bytes_per_edge;
     if (r.phase == "protocol_stabilized_step")
       out << ", \"pre_run_stabilized\": " << (r.trials_ok ? "true" : "false");
     if (r.suspect) out << ", \"suspect\": true";

@@ -58,12 +58,10 @@ int main(int argc, char** argv) {
         Vertex violations = 0;
         for (Vertex u = 0; u < g.num_vertices(); ++u) {
           bool black_nbr = false;
-          for (Vertex v : g.neighbors(u)) {
-            if (net.state(v) == TwoStateBeepAutomaton::kBlack) {
-              black_nbr = true;
-              break;
-            }
-          }
+          g.for_each_neighbor(u, [&](Vertex v) {
+            black_nbr = net.state(v) == TwoStateBeepAutomaton::kBlack;
+            return !black_nbr;
+          });
           const bool is_black = net.state(u) == TwoStateBeepAutomaton::kBlack;
           if (is_black == black_nbr) ++violations;
         }

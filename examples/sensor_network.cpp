@@ -67,7 +67,7 @@ int main(int argc, char** argv) {
   std::vector<char> covered(static_cast<std::size_t>(sensors), 0);
   for (Vertex h : heads) {
     covered[static_cast<std::size_t>(h)] = 1;
-    for (Vertex v : g.neighbors(h)) covered[static_cast<std::size_t>(v)] = 1;
+    g.for_each_neighbor(h, [&](Vertex v) { covered[static_cast<std::size_t>(v)] = 1; });
   }
   Vertex covered_count = 0;
   for (char c : covered) covered_count += c;

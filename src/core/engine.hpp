@@ -196,6 +196,12 @@ class ProcessEngine {
   void set_shards(int shards) {
     shards_ = shards < 1 ? 1 : shards;
     if (shards_ > 1) ThreadPool::shared().ensure_workers(shards_ - 1);
+    // One decode scratch per shard: any engine phase — today's sequential
+    // apply/refresh walks or a future sharded one — has a private buffer,
+    // so parallel stepping on compressed graphs stays allocation-free (the
+    // buffers are reused across rounds) and bit-identical (decoding is a
+    // pure read of the shared payload).
+    nbr_scratch_.resize(static_cast<std::size_t>(shards_));
   }
   int shards() const { return shards_; }
 
@@ -416,7 +422,7 @@ class ProcessEngine {
         }
       }
       if (nz == 0) continue;
-      for (Vertex v : graph_->neighbors(u)) {
+      for (Vertex v : nbrs(u)) {
         Vertex* base = counters_.data() +
                        static_cast<std::size_t>(v) * static_cast<std::size_t>(k_);
         for (int i = 0; i < nz; ++i) base[js[i]] += ds[i];
@@ -466,9 +472,19 @@ class ProcessEngine {
       if ((now ^ before) & kStableBlackBit) {
         const Vertex d = (now & kStableBlackBit) ? 1 : -1;
         bump_covered(u, d);
-        for (Vertex v : graph_->neighbors(u)) bump_covered(v, d);
+        for (Vertex v : nbrs(u)) bump_covered(v, d);
       }
     }
+  }
+
+  // Decode-aware neighbor view for the sequential engine phases (apply,
+  // refresh): the raw CSR span on plain graphs, a decode into this engine's
+  // shard-0 scratch on compressed graphs. The scratch vector is sized by
+  // set_shards so every shard owns a slot; all *current* neighbor walks
+  // happen in the sequential phases (the sharded decide phase reads only
+  // colors and counters), so slot 0 suffices there.
+  std::span<const Vertex> nbrs(Vertex u) {
+    return graph_->neighbors(u, nbr_scratch_[0]);
   }
 
   void bump_covered(Vertex x, Vertex d) {
@@ -479,17 +495,27 @@ class ProcessEngine {
   }
 
   // Full O(n + m) derivation of counters + histogram (construction only).
+  // Rows are swept sequentially through a RowStream: on compressed graphs
+  // that costs one pass over the payload instead of n random row seeks.
   void rebuild() {
     const Vertex n = graph_->num_vertices();
     hist_.assign(static_cast<std::size_t>(num_colors_), 0);
     counters_.assign(static_cast<std::size_t>(n) * static_cast<std::size_t>(k_), 0);
+    Graph::RowStream rows(*graph_);
     for (Vertex u = 0; u < n; ++u) {
       const Color c = colors_[static_cast<std::size_t>(u)];
       ++hist_[raw(c)];
+      bool any = false;
+      for (int j = 0; j < k_ && !any; ++j) any = rule_.contribution(c, j) != 0;
+      if (!any) {
+        rows.skip();
+        continue;
+      }
+      const auto nb = rows.next(nbr_scratch_[0]);
       for (int j = 0; j < k_; ++j) {
         const Vertex d = rule_.contribution(c, j);
         if (d == 0) continue;
-        for (Vertex v : graph_->neighbors(u)) {
+        for (Vertex v : nb) {
           counters_[static_cast<std::size_t>(v) * static_cast<std::size_t>(k_) +
                     static_cast<std::size_t>(j)] += d;
         }
@@ -508,20 +534,24 @@ class ProcessEngine {
     num_violations_ = 0;
     num_stable_black_ = 0;
     covered_.assign(static_cast<std::size_t>(n), 0);
+    Graph::RowStream rows(*graph_);
     for (Vertex u = 0; u < n; ++u) {
       const std::uint8_t f = compute_flags(u);
       flags_[static_cast<std::size_t>(u)] = f;
       if (f & kScheduledBit) worklist_.insert(u);
+      bool row_used = false;
       if constexpr (kTracksStability) {
         if (f & kActiveBit) ++num_active_;
         if (f & kViolatingBit) ++num_violations_;
         if (f & kStableBlackBit) {
           ++num_stable_black_;
           ++covered_[static_cast<std::size_t>(u)];
-          for (Vertex v : graph_->neighbors(u))
+          for (Vertex v : rows.next(nbr_scratch_[0]))
             ++covered_[static_cast<std::size_t>(v)];
+          row_used = true;
         }
       }
+      if (!row_used) rows.skip();
     }
     num_unstable_ = 0;
     if constexpr (kTracksStability) {
@@ -551,6 +581,9 @@ class ProcessEngine {
   std::vector<Vertex> touched_;
   std::uint64_t stage_gen_ = 0;
   std::uint64_t touch_gen_ = 0;
+  // Per-shard compressed-row decode buffers (see nbrs()); untouched on
+  // plain graphs.
+  std::vector<NeighborScratch> nbr_scratch_ = std::vector<NeighborScratch>(1);
 
   int shards_ = 1;
   std::int64_t round_ = 0;

@@ -54,9 +54,7 @@ bool high_degree(const Graph& g, Vertex u) {
   static thread_local const Graph* cached_graph = nullptr;
   static thread_local Vertex cached_median = 0;
   if (cached_graph != &g) {
-    std::vector<Vertex> degrees(static_cast<std::size_t>(g.num_vertices()));
-    for (Vertex v = 0; v < g.num_vertices(); ++v)
-      degrees[static_cast<std::size_t>(v)] = g.degree(v);
+    std::vector<Vertex> degrees = g.degrees();
     if (!degrees.empty()) {
       auto mid = degrees.begin() + degrees.size() / 2;
       std::nth_element(degrees.begin(), mid, degrees.end());

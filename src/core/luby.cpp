@@ -32,23 +32,24 @@ void LubyMIS::step() {
   for (Vertex u = 0; u < n; ++u) {
     if (status(u) != LubyStatus::kUndecided) continue;
     bool is_local_max = true;
-    for (Vertex v : graph_->neighbors(u)) {
+    graph_->for_each_neighbor(u, [&](Vertex v) {
       if (status(v) == LubyStatus::kUndecided && beats(v, u)) {
         is_local_max = false;
-        break;
+        return false;
       }
-    }
+      return true;
+    });
     if (is_local_max) winners.push_back(u);
   }
   for (Vertex u : winners) {
     status_[static_cast<std::size_t>(u)] = LubyStatus::kInMis;
     --num_undecided_;
-    for (Vertex v : graph_->neighbors(u)) {
+    graph_->for_each_neighbor(u, [&](Vertex v) {
       if (status(v) == LubyStatus::kUndecided) {
         status_[static_cast<std::size_t>(v)] = LubyStatus::kOut;
         --num_undecided_;
       }
-    }
+    });
   }
 }
 

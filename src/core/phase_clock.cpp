@@ -63,8 +63,9 @@ void PhaseClock::step() {
       continue;
     }
     int max_level = lvl;
-    for (Vertex v : graph_->neighbors(u))
+    graph_->for_each_neighbor(u, [&](Vertex v) {
       max_level = std::max(max_level, level(v));
+    });
     scratch_[static_cast<std::size_t>(u)] = max_level - 1;
   }
   levels_.swap(scratch_);

@@ -1,5 +1,6 @@
 #include "core/priority_mis.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 
@@ -38,11 +39,15 @@ std::shared_ptr<const std::vector<double>> PriorityMIS::make_biases(
                                     static_cast<double>(n - 1)
                               : 1.0);
   } else if (mode == "degree") {
-    const Vertex max_deg = g.max_degree();
+    const std::vector<Vertex> degrees = g.degrees();  // one sweep, any storage
+    const Vertex max_deg =
+        degrees.empty() ? 0 : *std::max_element(degrees.begin(), degrees.end());
     for (Vertex u = 0; u < n; ++u)
-      weight_to_bias(u, max_deg > 0 ? static_cast<double>(g.degree(u)) /
-                                          static_cast<double>(max_deg)
-                                    : 1.0);
+      weight_to_bias(u, max_deg > 0
+                            ? static_cast<double>(
+                                  degrees[static_cast<std::size_t>(u)]) /
+                                  static_cast<double>(max_deg)
+                            : 1.0);
   } else if (mode == "random") {
     const CoinOracle coins(seed);
     for (Vertex u = 0; u < n; ++u)

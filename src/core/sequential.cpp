@@ -41,8 +41,9 @@ SequentialMIS::SequentialMIS(const Graph& g, std::vector<Color2> init)
 
 Vertex SequentialMIS::black_neighbors(Vertex u) const {
   Vertex count = 0;
-  for (Vertex v : graph_->neighbors(u))
+  graph_->for_each_neighbor(u, [&](Vertex v) {
     if (black(v)) ++count;
+  });
   return count;
 }
 

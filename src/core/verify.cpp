@@ -18,9 +18,15 @@ bool is_independent_set(const Graph& g, const std::vector<char>& in_set) {
   check_size(g, in_set);
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (!in_set[static_cast<std::size_t>(u)]) continue;
-    for (Vertex v : g.neighbors(u)) {
-      if (v > u && in_set[static_cast<std::size_t>(v)]) return false;
-    }
+    bool ok = true;
+    g.for_each_neighbor(u, [&](Vertex v) {
+      if (v > u && in_set[static_cast<std::size_t>(v)]) {
+        ok = false;
+        return false;
+      }
+      return true;
+    });
+    if (!ok) return false;
   }
   return true;
 }
@@ -30,12 +36,13 @@ bool is_maximal(const Graph& g, const std::vector<char>& in_set) {
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (in_set[static_cast<std::size_t>(u)]) continue;
     bool has_member_neighbor = false;
-    for (Vertex v : g.neighbors(u)) {
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (in_set[static_cast<std::size_t>(v)]) {
         has_member_neighbor = true;
-        break;
+        return false;
       }
-    }
+      return true;
+    });
     if (!has_member_neighbor) return false;
   }
   return true;
@@ -72,24 +79,29 @@ std::optional<std::string> find_mis_violation(const Graph& g,
   check_size(g, in_set);
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (!in_set[static_cast<std::size_t>(u)]) continue;
-    for (Vertex v : g.neighbors(u)) {
+    std::optional<std::string> violation;
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (v > u && in_set[static_cast<std::size_t>(v)]) {
         std::ostringstream oss;
         oss << "independence violated: members " << u << " and " << v
             << " are adjacent";
-        return oss.str();
+        violation = oss.str();
+        return false;
       }
-    }
+      return true;
+    });
+    if (violation) return violation;
   }
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (in_set[static_cast<std::size_t>(u)]) continue;
     bool has_member_neighbor = false;
-    for (Vertex v : g.neighbors(u)) {
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (in_set[static_cast<std::size_t>(v)]) {
         has_member_neighbor = true;
-        break;
+        return false;
       }
-    }
+      return true;
+    });
     if (!has_member_neighbor) {
       std::ostringstream oss;
       oss << "maximality violated: vertex " << u << " has no member neighbor";
@@ -144,14 +156,18 @@ std::optional<std::string> find_matching_violation(
   }
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (used[static_cast<std::size_t>(u)]) continue;
-    for (Vertex v : g.neighbors(u)) {
+    std::optional<std::string> violation;
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (v > u && !used[static_cast<std::size_t>(v)]) {
         std::ostringstream oss;
         oss << "maximality violated: edge {" << u << ", " << v
             << "} has both endpoints unmatched";
-        return oss.str();
+        violation = oss.str();
+        return false;
       }
-    }
+      return true;
+    });
+    if (violation) return violation;
   }
   return std::nullopt;
 }
@@ -161,14 +177,15 @@ std::vector<Edge> greedy_maximal_matching(const Graph& g) {
   std::vector<Edge> edges;
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (used[static_cast<std::size_t>(u)]) continue;
-    for (Vertex v : g.neighbors(u)) {
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (v > u && !used[static_cast<std::size_t>(v)]) {
         used[static_cast<std::size_t>(u)] = 1;
         used[static_cast<std::size_t>(v)] = 1;
         edges.emplace_back(u, v);
-        break;
+        return false;
       }
-    }
+      return true;
+    });
   }
   return edges;
 }
@@ -179,7 +196,7 @@ std::vector<Vertex> greedy_mis(const Graph& g) {
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (blocked[static_cast<std::size_t>(u)]) continue;
     mis.push_back(u);
-    for (Vertex v : g.neighbors(u)) blocked[static_cast<std::size_t>(v)] = 1;
+    g.for_each_neighbor(u, [&](Vertex v) { blocked[static_cast<std::size_t>(v)] = 1; });
   }
   return mis;
 }

@@ -18,12 +18,12 @@ std::vector<std::int64_t> bfs_distances(const Graph& g, Vertex source) {
   while (!queue.empty()) {
     const Vertex u = queue.front();
     queue.pop();
-    for (Vertex v : g.neighbors(u)) {
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (dist[static_cast<std::size_t>(v)] < 0) {
         dist[static_cast<std::size_t>(v)] = dist[static_cast<std::size_t>(u)] + 1;
         queue.push(v);
       }
-    }
+    });
   }
   return dist;
 }
@@ -40,12 +40,12 @@ std::vector<Vertex> connected_components(const Graph& g) {
     while (!stack.empty()) {
       const Vertex u = stack.back();
       stack.pop_back();
-      for (Vertex v : g.neighbors(u)) {
+      g.for_each_neighbor(u, [&](Vertex v) {
         if (comp[static_cast<std::size_t>(v)] < 0) {
           comp[static_cast<std::size_t>(v)] = next_id;
           stack.push_back(v);
         }
-      }
+      });
     }
     ++next_id;
   }
@@ -81,20 +81,21 @@ bool has_diameter_at_most_2(const Graph& g) {
   std::vector<char> marked(static_cast<std::size_t>(n), 0);
   for (Vertex u = 0; u < n; ++u) {
     marked[static_cast<std::size_t>(u)] = 1;
-    for (Vertex w : g.neighbors(u)) marked[static_cast<std::size_t>(w)] = 1;
+    g.for_each_neighbor(u, [&](Vertex w) { marked[static_cast<std::size_t>(w)] = 1; });
     for (Vertex v = 0; v < n; ++v) {
       if (marked[static_cast<std::size_t>(v)]) continue;
       bool ok = false;
-      for (Vertex w : g.neighbors(v)) {
+      g.for_each_neighbor(v, [&](Vertex w) {
         if (marked[static_cast<std::size_t>(w)]) {
           ok = true;
-          break;
+          return false;
         }
-      }
+        return true;
+      });
       if (!ok) return false;
     }
     marked[static_cast<std::size_t>(u)] = 0;
-    for (Vertex w : g.neighbors(u)) marked[static_cast<std::size_t>(w)] = 0;
+    g.for_each_neighbor(u, [&](Vertex w) { marked[static_cast<std::size_t>(w)] = 0; });
   }
   return true;
 }
@@ -112,12 +113,10 @@ DegeneracyResult degeneracy(const Graph& g) {
   const Vertex n = g.num_vertices();
   DegeneracyResult result;
   result.order.reserve(static_cast<std::size_t>(n));
-  std::vector<Vertex> deg(static_cast<std::size_t>(n));
+  std::vector<Vertex> deg = g.degrees();  // one sweep, any storage mode
   Vertex max_deg = 0;
-  for (Vertex u = 0; u < n; ++u) {
-    deg[static_cast<std::size_t>(u)] = g.degree(u);
+  for (Vertex u = 0; u < n; ++u)
     max_deg = std::max(max_deg, deg[static_cast<std::size_t>(u)]);
-  }
   // Bucket queue keyed by current degree.
   std::vector<std::vector<Vertex>> buckets(static_cast<std::size_t>(max_deg) + 1);
   for (Vertex u = 0; u < n; ++u) buckets[static_cast<std::size_t>(deg[static_cast<std::size_t>(u)])].push_back(u);
@@ -140,12 +139,12 @@ DegeneracyResult degeneracy(const Graph& g) {
     result.order.push_back(u);
     result.degeneracy = std::max(result.degeneracy, cursor);
     ++processed;
-    for (Vertex v : g.neighbors(u)) {
-      if (removed[static_cast<std::size_t>(v)]) continue;
+    g.for_each_neighbor(u, [&](Vertex v) {
+      if (removed[static_cast<std::size_t>(v)]) return;
       const Vertex nd = --deg[static_cast<std::size_t>(v)];
       buckets[static_cast<std::size_t>(nd)].push_back(v);
       cursor = std::min(cursor, nd);
-    }
+    });
   }
   return result;
 }
@@ -160,8 +159,9 @@ ArboricityBounds arboricity_bounds(const Graph& g) {
 }
 
 Vertex common_neighbors(const Graph& g, Vertex u, Vertex v) {
-  auto a = g.neighbors(u);
-  auto b = g.neighbors(v);
+  NeighborScratch su, sv;
+  auto a = g.neighbors(u, su);
+  auto b = g.neighbors(v, sv);
   Vertex count = 0;
   std::size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
@@ -186,15 +186,18 @@ Vertex max_common_neighbors(const Graph& g) {
   // small n and a hash-free two-pass for large n.
   Vertex best = 0;
   std::vector<Vertex> counter(static_cast<std::size_t>(n), 0);
+  NeighborScratch su;
   for (Vertex u = 0; u < n; ++u) {
-    // counter[v] = |N(u) ∩ N(v)| computed by scanning two-hop paths.
+    // counter[v] = |N(u) ∩ N(v)| computed by scanning two-hop paths. The
+    // outer row sits in a scratch buffer so the inner decode cannot
+    // invalidate it.
     std::vector<Vertex> touched;
-    for (Vertex w : g.neighbors(u)) {
-      for (Vertex v : g.neighbors(w)) {
-        if (v <= u) continue;  // count each unordered pair once
+    for (Vertex w : g.neighbors(u, su)) {
+      g.for_each_neighbor(w, [&](Vertex v) {
+        if (v <= u) return;  // count each unordered pair once
         if (counter[static_cast<std::size_t>(v)] == 0) touched.push_back(v);
         ++counter[static_cast<std::size_t>(v)];
-      }
+      });
     }
     for (Vertex v : touched) {
       best = std::max(best, counter[static_cast<std::size_t>(v)]);
@@ -206,12 +209,15 @@ Vertex max_common_neighbors(const Graph& g) {
 
 std::int64_t triangle_count(const Graph& g) {
   std::int64_t triangles = 0;
+  NeighborScratch su, sv;
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    for (Vertex v : g.neighbors(u)) {
+    // The outer row doubles as merge operand `a`; `b` decodes into its own
+    // scratch, so `a` stays valid across the inner merges.
+    const auto a = g.neighbors(u, su);
+    for (Vertex v : a) {
       if (v <= u) continue;
       // Count w > v adjacent to both u and v.
-      auto a = g.neighbors(u);
-      auto b = g.neighbors(v);
+      auto b = g.neighbors(v, sv);
       std::size_t i = 0, j = 0;
       while (i < a.size() && j < b.size()) {
         if (a[i] == b[j]) {
@@ -241,11 +247,11 @@ InducedSubgraph induced_subgraph(const Graph& g, const std::vector<Vertex>& keep
   }
   GraphBuilder b(static_cast<Vertex>(keep.size()));
   for (Vertex u : keep) {
-    for (Vertex v : g.neighbors(u)) {
+    g.for_each_neighbor(u, [&](Vertex v) {
       const Vertex nv = old_to_new[static_cast<std::size_t>(v)];
       const Vertex nu = old_to_new[static_cast<std::size_t>(u)];
       if (nv >= 0 && nu < nv) b.add_edge(nu, nv);
-    }
+    });
   }
   InducedSubgraph result{std::move(b).build(), keep};
   return result;
@@ -255,8 +261,9 @@ Graph complement(const Graph& g) {
   const Vertex n = g.num_vertices();
   if (n > 4096) throw std::invalid_argument("complement: n too large (O(n^2) result)");
   GraphBuilder b(n);
+  NeighborScratch scratch;
   for (Vertex u = 0; u < n; ++u) {
-    auto nbrs = g.neighbors(u);
+    auto nbrs = g.neighbors(u, scratch);
     std::size_t i = 0;
     for (Vertex v = u + 1; v < n; ++v) {
       while (i < nbrs.size() && nbrs[i] < v) ++i;
@@ -278,16 +285,20 @@ std::optional<std::vector<char>> bipartition(const Graph& g) {
     while (!queue.empty()) {
       const Vertex u = queue.back();
       queue.pop_back();
-      for (Vertex v : g.neighbors(u)) {
+      bool odd_cycle = false;
+      g.for_each_neighbor(u, [&](Vertex v) {
         if (color[static_cast<std::size_t>(v)] < 0) {
           color[static_cast<std::size_t>(v)] =
               static_cast<char>(1 - color[static_cast<std::size_t>(u)]);
           queue.push_back(v);
         } else if (color[static_cast<std::size_t>(v)] ==
                    color[static_cast<std::size_t>(u)]) {
-          return std::nullopt;
+          odd_cycle = true;
+          return false;
         }
-      }
+        return true;
+      });
+      if (odd_cycle) return std::nullopt;
     }
   }
   return color;
@@ -301,16 +312,16 @@ std::vector<Vertex> core_numbers(const Graph& g) {
   const auto result = degeneracy(g);
   std::vector<Vertex> core(static_cast<std::size_t>(g.num_vertices()), 0);
   // Recompute peel degrees along the order.
-  std::vector<Vertex> deg(static_cast<std::size_t>(g.num_vertices()));
-  for (Vertex u = 0; u < g.num_vertices(); ++u) deg[static_cast<std::size_t>(u)] = g.degree(u);
+  std::vector<Vertex> deg = g.degrees();
   std::vector<char> removed(static_cast<std::size_t>(g.num_vertices()), 0);
   Vertex running_max = 0;
   for (Vertex u : result.order) {
     running_max = std::max(running_max, deg[static_cast<std::size_t>(u)]);
     core[static_cast<std::size_t>(u)] = running_max;
     removed[static_cast<std::size_t>(u)] = 1;
-    for (Vertex v : g.neighbors(u))
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (!removed[static_cast<std::size_t>(v)]) --deg[static_cast<std::size_t>(v)];
+    });
   }
   return core;
 }
@@ -333,10 +344,10 @@ struct MisSearch {
       const auto idx = static_cast<std::size_t>(u);
       if (in_set[idx] || excluded[idx]) continue;
       Vertex live = 0;
-      for (Vertex v : g->neighbors(u)) {
+      g->for_each_neighbor(u, [&](Vertex v) {
         const auto j = static_cast<std::size_t>(v);
         if (!in_set[j] && !excluded[j]) ++live;
-      }
+      });
       if (live > best_deg) {
         best_deg = live;
         best_v = u;
@@ -358,12 +369,13 @@ struct MisSearch {
     for (Vertex u = 0; u < g->num_vertices(); ++u) {
       if (in_set[static_cast<std::size_t>(u)]) continue;
       bool dominated = false;
-      for (Vertex v : g->neighbors(u)) {
+      g->for_each_neighbor(u, [&](Vertex v) {
         if (in_set[static_cast<std::size_t>(v)]) {
           dominated = true;
-          break;
+          return false;
         }
-      }
+        return true;
+      });
       if (!dominated) return false;
     }
     return true;
@@ -391,13 +403,13 @@ struct MisSearch {
     // Branch 1: take u (exclude its live neighbors).
     std::vector<Vertex> newly_excluded;
     in_set[idx] = 1;
-    for (Vertex v : g->neighbors(u)) {
+    g->for_each_neighbor(u, [&](Vertex v) {
       const auto j = static_cast<std::size_t>(v);
       if (!excluded[j] && !in_set[j]) {
         excluded[j] = 1;
         newly_excluded.push_back(v);
       }
-    }
+    });
     search(set_size + 1,
            undecided - 1 - static_cast<Vertex>(newly_excluded.size()));
     in_set[idx] = 0;

@@ -1,0 +1,145 @@
+#include "graph/compressed.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "rng/splitmix64.hpp"
+
+namespace ssmis {
+
+namespace {
+
+[[noreturn]] void fail_validate(const std::string& what) {
+  throw std::runtime_error("compressed adjacency: " + what);
+}
+
+std::uint64_t directed_hash(Vertex u, Vertex v) {
+  return splitmix64_mix(
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(u)) << 32) |
+      static_cast<std::uint64_t>(static_cast<std::uint32_t>(v)));
+}
+
+}  // namespace
+
+CompressedAdjacencyEncoder::CompressedAdjacencyEncoder(Vertex n) : n_(n) {
+  if (n < 0)
+    throw std::invalid_argument("CompressedAdjacencyEncoder: negative vertex count");
+  index_.reserve(cadj::index_entries(n));
+}
+
+void CompressedAdjacencyEncoder::add_row(std::span<const Vertex> row) {
+  if (row_ >= n_)
+    throw std::logic_error("CompressedAdjacencyEncoder: more rows than vertices");
+  if (row_ % cadj::kSuperblock == 0)
+    index_.push_back(static_cast<std::uint64_t>(payload_.size()));
+  cadj::append_varint(payload_, static_cast<std::uint32_t>(row.size()));
+  Vertex prev = -1;
+  for (const Vertex v : row) {
+    if (v < 0 || v >= n_)
+      throw std::invalid_argument(
+          "CompressedAdjacencyEncoder: neighbor id out of range");
+    if (v == row_)
+      throw std::invalid_argument("CompressedAdjacencyEncoder: self-loop");
+    if (v <= prev)
+      throw std::invalid_argument(
+          "CompressedAdjacencyEncoder: row not sorted/deduplicated");
+    cadj::append_varint(payload_, static_cast<std::uint32_t>(
+                                      prev < 0 ? v : v - prev));
+    prev = v;
+  }
+  adj_len_ += static_cast<std::int64_t>(row.size());
+  ++row_;
+}
+
+Graph CompressedAdjacencyEncoder::finish() && {
+  if (row_ != n_)
+    throw std::logic_error("CompressedAdjacencyEncoder: finish before row n-1");
+  index_.push_back(static_cast<std::uint64_t>(payload_.size()));
+  // Return reservation slack (the reserve() bound over-estimates clustered
+  // graphs) when it is worth a realloc — same idiom as CsrBuilder::finalize.
+  if (payload_.capacity() - payload_.size() > payload_.size() / 8)
+    payload_.shrink_to_fit();
+  return Graph::from_compressed(n_, adj_len_, std::move(index_),
+                                std::move(payload_));
+}
+
+void validate_compressed_index(std::int64_t n, const std::uint64_t* index,
+                               std::size_t payload_bytes) {
+  const std::size_t entries = cadj::index_entries(n);
+  if (index[0] != 0) fail_validate("corrupt index (first entry != 0)");
+  for (std::size_t i = 0; i + 1 < entries; ++i)
+    if (index[i] > index[i + 1]) fail_validate("corrupt index (not monotone)");
+  if (index[entries - 1] != payload_bytes)
+    fail_validate("index/offset mismatch (last entry != payload size)");
+}
+
+void validate_compressed_payload(std::int64_t n, std::int64_t adj_len,
+                                 const std::uint64_t* index,
+                                 const std::uint8_t* payload,
+                                 std::size_t payload_bytes) {
+  validate_compressed_index(n, index, payload_bytes);
+  // One strict sequential decode of every row. visit_row already rejects
+  // bounds/varint/duplicate/range corruption; this pass adds self-loops,
+  // the per-superblock index cross-check, the endpoint total, and the
+  // directed-vs-reversed multiset hash (symmetry).
+  const std::uint8_t* p = payload;
+  const std::uint8_t* end = payload + payload_bytes;
+  std::int64_t endpoints = 0;
+  std::uint64_t fwd = 0, rev = 0;
+  for (std::int64_t u = 0; u < n; ++u) {
+    if (u % cadj::kSuperblock == 0 &&
+        static_cast<std::uint64_t>(p - payload) !=
+            index[static_cast<std::size_t>(u / cadj::kSuperblock)])
+      fail_validate("index/offset mismatch (entry does not point at its row)");
+    cadj::visit_row(p, end, n, [&](Vertex v) {
+      if (v == u) fail_validate("corrupt row (self-loop)");
+      ++endpoints;
+      fwd += directed_hash(static_cast<Vertex>(u), v);
+      rev += directed_hash(v, static_cast<Vertex>(u));
+    });
+  }
+  if (p != end)
+    fail_validate("oversized payload (trailing bytes after the last row)");
+  if (endpoints != adj_len)
+    fail_validate("corrupt payload (endpoint count != header adj_len)");
+  if (fwd != rev)
+    fail_validate("corrupt adjacency (rows are not symmetric)");
+}
+
+Graph Graph::compress(const Graph& g) {
+  if (g.compressed_) return g;
+  const Vertex n = g.num_vertices();
+  CompressedAdjacencyEncoder enc(n);
+  // Same exact-bound reservation as the CsrBuilder sink (degrees are O(1)
+  // reads off the plain offsets here).
+  const std::size_t id_len =
+      cadj::varint_len(n > 0 ? static_cast<std::uint32_t>(n) : 0u);
+  std::size_t bound = 0;
+  for (Vertex u = 0; u < n; ++u) {
+    const auto d = static_cast<std::uint32_t>(g.degree(u));
+    bound += cadj::varint_len(d) + static_cast<std::size_t>(d) * id_len;
+  }
+  enc.reserve(bound);
+  NeighborScratch scratch;
+  RowStream rows(g);
+  for (Vertex u = 0; u < n; ++u) enc.add_row(rows.next(scratch));
+  return std::move(enc).finish();
+}
+
+Graph Graph::decompress(const Graph& g) {
+  if (!g.compressed_) return g;
+  std::vector<std::int64_t> offsets(static_cast<std::size_t>(g.n_) + 1, 0);
+  std::vector<Vertex> adj;
+  adj.reserve(g.adj_size_);
+  NeighborScratch scratch;
+  RowStream rows(g);
+  for (Vertex u = 0; u < g.n_; ++u) {
+    const auto row = rows.next(scratch);
+    adj.insert(adj.end(), row.begin(), row.end());
+    offsets[static_cast<std::size_t>(u) + 1] =
+        static_cast<std::int64_t>(adj.size());
+  }
+  return Graph::from_owned_csr(g.n_, std::move(offsets), std::move(adj));
+}
+
+}  // namespace ssmis

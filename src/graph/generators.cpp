@@ -241,6 +241,19 @@ Graph gnp(Vertex n, double p, std::uint64_t seed) {
       n, [n, p, seed](auto&& emit) { emit_gnp(n, p, seed, emit); });
 }
 
+Graph gnp_compressed(Vertex n, double p, std::uint64_t seed,
+                     std::int64_t chunk_endpoints) {
+  require(n >= 0, "gnp: n must be >= 0");
+  require(p >= 0.0 && p <= 1.0, "gnp: p must be in [0,1]");
+  if (chunk_endpoints <= 0) chunk_endpoints = CsrBuilder::kDefaultChunkEndpoints;
+  if (p >= 1.0) return Graph::compress(complete(n));
+  if (p <= 0.0)
+    return CsrBuilder::from_source_compressed(n, [](auto&&) {}, chunk_endpoints);
+  return CsrBuilder::from_source_compressed(
+      n, [n, p, seed](auto&& emit) { emit_gnp(n, p, seed, emit); },
+      chunk_endpoints);
+}
+
 Graph gnm(Vertex n, std::int64_t m, std::uint64_t seed) {
   require(n >= 0, "gnm: n must be >= 0");
   const std::int64_t max_m = static_cast<std::int64_t>(n) * (n - 1) / 2;

@@ -21,8 +21,9 @@ std::int64_t edges_inside(const Graph& g, const std::vector<Vertex>& subset) {
   for (Vertex u : subset) in[static_cast<std::size_t>(u)] = 1;
   std::int64_t twice = 0;
   for (Vertex u : subset)
-    for (Vertex v : g.neighbors(u))
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (in[static_cast<std::size_t>(v)]) ++twice;
+    });
   return twice / 2;
 }
 
@@ -32,8 +33,9 @@ std::vector<char> open_neighborhood(const Graph& g, const std::vector<Vertex>& s
   std::vector<char> nbr(static_cast<std::size_t>(g.num_vertices()), 0);
   for (Vertex u : set) in[static_cast<std::size_t>(u)] = 1;
   for (Vertex u : set)
-    for (Vertex v : g.neighbors(u))
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (!in[static_cast<std::size_t>(v)]) nbr[static_cast<std::size_t>(v)] = 1;
+    });
   return nbr;
 }
 
@@ -64,8 +66,9 @@ bool p2_holds_for_subset(const Graph& g, double p, const std::vector<Vertex>& su
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
     if (in[static_cast<std::size_t>(u)]) continue;
     Vertex inside = 0;
-    for (Vertex v : g.neighbors(u))
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (in[static_cast<std::size_t>(v)]) ++inside;
+    });
     if (static_cast<double>(inside) < p * k / 2.0) ++weak;
   }
   return static_cast<double>(weak) <= k / 2.0;
@@ -78,8 +81,9 @@ bool p4_holds_for_pair(const Graph& g, const std::vector<Vertex>& s,
   for (Vertex u : s) in_s[static_cast<std::size_t>(u)] = 1;
   std::int64_t cross = 0;
   for (Vertex u : t)
-    for (Vertex v : g.neighbors(u))
+    g.for_each_neighbor(u, [&](Vertex v) {
       if (in_s[static_cast<std::size_t>(v)]) ++cross;
+    });
   return static_cast<double>(cross) <= 6.0 * static_cast<double>(s.size()) * ln_n(g);
 }
 
@@ -243,13 +247,16 @@ GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
     while (!frontier.empty() && static_cast<Vertex>(out.size()) < size) {
       std::vector<Vertex> next;
       for (Vertex u : frontier) {
-        for (Vertex v : g.neighbors(u)) {
-          if (used[static_cast<std::size_t>(v)]) continue;
+        bool full = false;
+        g.for_each_neighbor(u, [&](Vertex v) {
+          if (used[static_cast<std::size_t>(v)]) return true;
           used[static_cast<std::size_t>(v)] = 1;
           out.push_back(v);
           next.push_back(v);
-          if (static_cast<Vertex>(out.size()) >= size) return out;
-        }
+          full = static_cast<Vertex>(out.size()) >= size;
+          return !full;
+        });
+        if (full) return out;
       }
       frontier = std::move(next);
     }

@@ -4,11 +4,13 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <memory>
 #include <random>
 #include <stdexcept>
 #include <vector>
 
+#include "graph/compressed.hpp"
 #include "graph/io.hpp"
 #include "support/cli.hpp"
 #include "support/hash.hpp"
@@ -26,6 +28,10 @@ namespace io {
 
 namespace {
 
+// One header layout for both versions: v1 zeroes the last three fields
+// (they were "reserved" before v2 claimed them), v2 uses them as
+// flags / payload_bytes / superblock. v1 files are byte-identical to the
+// pre-v2 writer's output.
 struct SsgHeader {
   char magic[8];
   std::uint32_t version;
@@ -33,12 +39,14 @@ struct SsgHeader {
   std::int64_t n;
   std::int64_t adj_len;
   std::uint64_t checksum;
-  std::uint64_t reserved[3];
+  std::uint64_t flags;
+  std::uint64_t payload_bytes;
+  std::uint64_t superblock;
 };
 static_assert(sizeof(SsgHeader) == kSsgHeaderBytes);
 
-// Checksum covers the shape fields and both payload arrays, so a corrupted
-// header count fails as loudly as a flipped adjacency byte.
+// v1 checksum covers the shape fields and both payload arrays, so a
+// corrupted header count fails as loudly as a flipped adjacency byte.
 std::uint64_t payload_checksum(std::int64_t n, std::int64_t adj_len,
                                const std::int64_t* offsets, const Vertex* adj) {
   std::uint64_t h = kFnv1aBasis;
@@ -49,19 +57,39 @@ std::uint64_t payload_checksum(std::int64_t n, std::int64_t adj_len,
   return h;
 }
 
+// v2 checksum: shape + codec parameters + index + payload, same loudness
+// contract as v1.
+std::uint64_t compressed_checksum(const SsgHeader& h, const std::uint64_t* index,
+                                  std::size_t index_entries,
+                                  const std::uint8_t* payload) {
+  std::uint64_t sum = kFnv1aBasis;
+  sum = fnv1a(sum, &h.n, sizeof(h.n));
+  sum = fnv1a(sum, &h.adj_len, sizeof(h.adj_len));
+  sum = fnv1a(sum, &h.flags, sizeof(h.flags));
+  sum = fnv1a(sum, &h.payload_bytes, sizeof(h.payload_bytes));
+  sum = fnv1a(sum, &h.superblock, sizeof(h.superblock));
+  sum = fnv1a(sum, index, index_entries * sizeof(std::uint64_t));
+  sum = fnv1a(sum, payload, static_cast<std::size_t>(h.payload_bytes));
+  return sum;
+}
+
 [[noreturn]] void fail(const std::string& path, const std::string& what) {
   throw std::runtime_error("ssg: " + path + ": " + what);
 }
 
-// Header + structural validation shared by the owned and mmap loaders.
-// `file_bytes` is the actual on-disk size.
-void validate(const std::string& path, const SsgHeader& h, std::int64_t file_bytes) {
+// Version-independent header gate: magic and endianness first (them failing
+// means "not our file at all"), then a version we implement.
+void validate_magic_and_version(const std::string& path, const SsgHeader& h) {
   if (std::memcmp(h.magic, kSsgMagic, sizeof(kSsgMagic)) != 0)
     fail(path, "bad magic (not an .ssg file)");
   if (h.endian_tag != kSsgEndianTag)
     fail(path, "endianness mismatch (file written on an incompatible host)");
-  if (h.version != kSsgVersion)
+  if (h.version != kSsgVersion && h.version != kSsgVersionCompressed)
     fail(path, "unsupported format version " + std::to_string(h.version));
+}
+
+// v1 shape validation. `file_bytes` is the actual on-disk size.
+void validate(const std::string& path, const SsgHeader& h, std::int64_t file_bytes) {
   if (h.n < 0 || h.adj_len < 0 || h.n > 0x7fffffffLL) fail(path, "corrupt header counts");
   // Derive the adjacency byte budget from the actual file size instead of
   // multiplying header counts (4 * adj_len on a hostile header overflows
@@ -74,9 +102,33 @@ void validate(const std::string& path, const SsgHeader& h, std::int64_t file_byt
                    ", adj_len=" + std::to_string(h.adj_len) + ")");
 }
 
+// v2 shape validation: codec parameters plus section sizes, again derived
+// from the actual file size so hostile headers cannot wrap the math.
+// Returns the index entry count.
+std::size_t validate_compressed_header(const std::string& path, const SsgHeader& h,
+                                       std::int64_t file_bytes) {
+  if (h.n < 0 || h.adj_len < 0 || h.n > 0x7fffffffLL) fail(path, "corrupt header counts");
+  if (h.flags != kSsgFlagCompressed)
+    fail(path, "unsupported flags " + std::to_string(h.flags) +
+                   " (v2 requires the compressed-payload flag alone)");
+  if (h.superblock != static_cast<std::uint64_t>(cadj::kSuperblock))
+    fail(path, "unsupported superblock " + std::to_string(h.superblock) +
+                   " (this reader implements " + std::to_string(cadj::kSuperblock) + ")");
+  const std::size_t entries = cadj::index_entries(h.n);
+  const std::int64_t payload_bytes =
+      file_bytes - static_cast<std::int64_t>(kSsgHeaderBytes) -
+      static_cast<std::int64_t>(entries) * 8;
+  if (payload_bytes < 0 ||
+      static_cast<std::uint64_t>(payload_bytes) != h.payload_bytes)
+    fail(path, "truncated or oversized file (" + std::to_string(file_bytes) +
+                   " bytes does not match n=" + std::to_string(h.n) +
+                   ", payload_bytes=" + std::to_string(h.payload_bytes) + ")");
+  return entries;
+}
+
 // Offsets are what row iteration indexes with — corruption there means
 // out-of-bounds reads on the first neighbors() call. This check is O(n)
-// and runs on EVERY load, trusted or not.
+// and runs on EVERY v1 load, trusted or not.
 void validate_offsets(const std::string& path, std::int64_t n, std::int64_t adj_len,
                       const std::int64_t* offsets) {
   if (offsets[0] != 0) fail(path, "corrupt offsets (offsets[0] != 0)");
@@ -87,8 +139,8 @@ void validate_offsets(const std::string& path, std::int64_t n, std::int64_t adj_
     fail(path, "corrupt adjacency (odd endpoint count: a dangling half-edge)");
 }
 
-// Full structural audit of the adjacency payload: out-of-range values mean
-// out-of-bounds per-vertex state access in every process, unsorted or
+// Full structural audit of the v1 adjacency payload: out-of-range values
+// mean out-of-bounds per-vertex state access in every process, unsorted or
 // duplicated rows break the binary-search/dedup invariant Graph's contract
 // promises (has_edge would silently miss present edges), and asymmetric
 // rows desync the engine's incremental neighbor counters. All of it can
@@ -118,38 +170,24 @@ void validate_adjacency(const std::string& path, std::int64_t n,
   }
 }
 
-#ifdef SSMIS_HAVE_MMAP
-struct MmapRegion {
-  void* base = nullptr;
-  std::size_t bytes = 0;
-  ~MmapRegion() {
-    if (base != nullptr) ::munmap(base, bytes);
+// The codec validators throw without the file path; re-throw with it so a
+// corrupted v2 file names itself like every other .ssg failure.
+template <typename Fn>
+void validate_codec(const std::string& path, Fn&& fn) {
+  try {
+    fn();
+  } catch (const std::runtime_error& e) {
+    fail(path, e.what());
   }
-};
-#endif
-
-}  // namespace
-
-std::int64_t ssg_file_bytes(const Graph& g) {
-  return static_cast<std::int64_t>(kSsgHeaderBytes) +
-         8 * (static_cast<std::int64_t>(g.num_vertices()) + 1) +
-         4 * static_cast<std::int64_t>(g.adjacency().size());
 }
 
-void save_ssg(const std::string& path, const Graph& g) {
-  SsgHeader h{};
-  std::memcpy(h.magic, kSsgMagic, sizeof(kSsgMagic));
-  h.version = kSsgVersion;
-  h.endian_tag = kSsgEndianTag;
-  h.n = g.num_vertices();
-  h.adj_len = static_cast<std::int64_t>(g.adjacency().size());
-  h.checksum =
-      payload_checksum(h.n, h.adj_len, g.offsets().data(), g.adjacency().data());
-
-  // Write to a scratch file and rename over the target: the replace is
-  // atomic (no half-written .ssg visible at `path`), and saving over the
-  // very file `g` is mmap'd from cannot truncate the live mapping — the
-  // old inode survives until it is unmapped.
+// Scratch-file + atomic-rename writer shared by both formats: the replace
+// is atomic (no half-written .ssg visible at `path`), saving over the very
+// file a Graph is mmap'd from cannot truncate the live mapping (the old
+// inode survives until it is unmapped), and a failed write removes the
+// scratch file instead of stranding it.
+void write_atomically(const std::string& path,
+                      const std::function<void(std::ofstream&)>& body) {
 #ifdef SSMIS_HAVE_MMAP
   const std::string tmp = path + ".tmp." + std::to_string(::getpid());
 #else
@@ -161,11 +199,7 @@ void save_ssg(const std::string& path, const Graph& g) {
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) fail(tmp, "cannot open for writing");
-    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
-    out.write(reinterpret_cast<const char*>(g.offsets().data()),
-              static_cast<std::streamsize>(g.offsets().size() * sizeof(std::int64_t)));
-    out.write(reinterpret_cast<const char*>(g.adjacency().data()),
-              static_cast<std::streamsize>(g.adjacency().size() * sizeof(Vertex)));
+    body(out);
     // close() flushes; checking only before the flush would let an ENOSPC
     // on the final buffer slip a truncated file past the rename below.
     out.close();
@@ -183,6 +217,65 @@ void save_ssg(const std::string& path, const Graph& g) {
   }
 }
 
+#ifdef SSMIS_HAVE_MMAP
+struct MmapRegion {
+  void* base = nullptr;
+  std::size_t bytes = 0;
+  ~MmapRegion() {
+    if (base != nullptr) ::munmap(base, bytes);
+  }
+};
+#endif
+
+}  // namespace
+
+std::int64_t ssg_file_bytes(const Graph& g) {
+  if (g.is_compressed()) {
+    return static_cast<std::int64_t>(kSsgHeaderBytes) +
+           static_cast<std::int64_t>(g.compressed_index().size()) * 8 +
+           static_cast<std::int64_t>(g.compressed_payload().size());
+  }
+  return static_cast<std::int64_t>(kSsgHeaderBytes) +
+         8 * (static_cast<std::int64_t>(g.num_vertices()) + 1) +
+         4 * static_cast<std::int64_t>(g.adjacency().size());
+}
+
+void save_ssg(const std::string& path, const Graph& g) {
+  SsgHeader h{};
+  std::memcpy(h.magic, kSsgMagic, sizeof(kSsgMagic));
+  h.endian_tag = kSsgEndianTag;
+  h.n = g.num_vertices();
+  if (g.is_compressed()) {
+    const auto index = g.compressed_index();
+    const auto payload = g.compressed_payload();
+    h.version = kSsgVersionCompressed;
+    h.adj_len = 2 * g.num_edges();
+    h.flags = kSsgFlagCompressed;
+    h.payload_bytes = payload.size();
+    h.superblock = static_cast<std::uint64_t>(cadj::kSuperblock);
+    h.checksum = compressed_checksum(h, index.data(), index.size(), payload.data());
+    write_atomically(path, [&](std::ofstream& out) {
+      out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+      out.write(reinterpret_cast<const char*>(index.data()),
+                static_cast<std::streamsize>(index.size() * sizeof(std::uint64_t)));
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(payload.size()));
+    });
+    return;
+  }
+  h.version = kSsgVersion;
+  h.adj_len = static_cast<std::int64_t>(g.adjacency().size());
+  h.checksum =
+      payload_checksum(h.n, h.adj_len, g.offsets().data(), g.adjacency().data());
+  write_atomically(path, [&](std::ofstream& out) {
+    out.write(reinterpret_cast<const char*>(&h), sizeof(h));
+    out.write(reinterpret_cast<const char*>(g.offsets().data()),
+              static_cast<std::streamsize>(g.offsets().size() * sizeof(std::int64_t)));
+    out.write(reinterpret_cast<const char*>(g.adjacency().data()),
+              static_cast<std::streamsize>(g.adjacency().size() * sizeof(Vertex)));
+  });
+}
+
 Graph load_ssg(const std::string& path, SsgValidation validation) {
   std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) fail(path, "cannot open");
@@ -191,8 +284,34 @@ Graph load_ssg(const std::string& path, SsgValidation validation) {
   SsgHeader h{};
   if (file_bytes < static_cast<std::int64_t>(sizeof(h))) fail(path, "truncated header");
   in.read(reinterpret_cast<char*>(&h), sizeof(h));
-  validate(path, h, file_bytes);
+  validate_magic_and_version(path, h);
 
+  if (h.version == kSsgVersionCompressed) {
+    const std::size_t entries = validate_compressed_header(path, h, file_bytes);
+    std::vector<std::uint64_t> index(entries);
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(h.payload_bytes));
+    in.read(reinterpret_cast<char*>(index.data()),
+            static_cast<std::streamsize>(index.size() * sizeof(std::uint64_t)));
+    in.read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+    if (!in) fail(path, "read failed");
+    validate_codec(path, [&] {
+      validate_compressed_index(h.n, index.data(), payload.size());
+    });
+    if (validation == SsgValidation::kFull) {
+      if (compressed_checksum(h, index.data(), index.size(), payload.data()) !=
+          h.checksum)
+        fail(path, "checksum mismatch (corrupted file)");
+      validate_codec(path, [&] {
+        validate_compressed_payload(h.n, h.adj_len, index.data(), payload.data(),
+                                    payload.size());
+      });
+    }
+    return Graph::from_compressed(static_cast<Vertex>(h.n), h.adj_len,
+                                  std::move(index), std::move(payload));
+  }
+
+  validate(path, h, file_bytes);
   std::vector<std::int64_t> offsets(static_cast<std::size_t>(h.n) + 1);
   std::vector<Vertex> adj(static_cast<std::size_t>(h.adj_len));
   in.read(reinterpret_cast<char*>(offsets.data()),
@@ -234,8 +353,32 @@ Graph mmap_ssg(const std::string& path, SsgValidation validation) {
 
   SsgHeader h{};
   std::memcpy(&h, base, sizeof(h));
-  validate(path, h, file_bytes);
+  validate_magic_and_version(path, h);
   const auto* bytes = static_cast<const unsigned char*>(base);
+
+  if (h.version == kSsgVersionCompressed) {
+    const std::size_t entries = validate_compressed_header(path, h, file_bytes);
+    const auto* index =
+        reinterpret_cast<const std::uint64_t*>(bytes + kSsgHeaderBytes);
+    const auto* payload = bytes + kSsgHeaderBytes + entries * 8;
+    validate_codec(path, [&] {
+      validate_compressed_index(h.n, index,
+                                static_cast<std::size_t>(h.payload_bytes));
+    });
+    if (validation == SsgValidation::kFull) {
+      if (compressed_checksum(h, index, entries, payload) != h.checksum)
+        fail(path, "checksum mismatch (corrupted file)");
+      validate_codec(path, [&] {
+        validate_compressed_payload(h.n, h.adj_len, index, payload,
+                                    static_cast<std::size_t>(h.payload_bytes));
+      });
+    }
+    return Graph::from_external_compressed(
+        static_cast<Vertex>(h.n), h.adj_len, index, payload,
+        static_cast<std::size_t>(h.payload_bytes), std::move(region));
+  }
+
+  validate(path, h, file_bytes);
   const auto* offsets =
       reinterpret_cast<const std::int64_t*>(bytes + kSsgHeaderBytes);
   const auto* adj = reinterpret_cast<const Vertex*>(

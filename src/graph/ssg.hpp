@@ -1,14 +1,17 @@
-// `.ssg` — the versioned binary CSR on-disk graph format.
+// `.ssg` — the versioned binary on-disk graph format.
 //
 // Generating a 10^7-vertex G(n,p) takes longer than simulating on it; the
 // `.ssg` file lets a graph be generated once and reused across every
-// experiment binary (the shared `--graph-file` flag). Layout, all fields
-// little-endian, 8-byte-aligned sections:
+// experiment binary (the shared `--graph-file` flag). Two payload layouts
+// exist, selected by the header's version field; all fields little-endian,
+// 8-byte-aligned sections.
+//
+// Version 1 — plain CSR (written for plain-storage Graphs):
 //
 //   offset  size            field
 //   ------  --------------  ---------------------------------------------
 //        0  8               magic "SSGRAPH1"
-//        8  4 (u32)         format version (currently 1)
+//        8  4 (u32)         format version (1)
 //       12  4 (u32)         endianness tag 0x01020304 as written
 //       16  8 (i64)         n  (vertex count)
 //       24  8 (i64)         adj_len (= 2m directed endpoints)
@@ -17,16 +20,39 @@
 //       64  8*(n+1)         offsets[] (i64)
 //   64+8(n+1)  4*adj_len    adj[] (i32)
 //
-// Versioning/endianness contract: readers reject any magic, version, or
-// endianness-tag mismatch with std::runtime_error rather than guessing —
-// a v2 writer must bump the version field, and a big-endian host reading a
-// little-endian file fails loudly on the tag. Truncated files and checksum
-// mismatches also throw.
+// Version 2 — compressed adjacency (written for compressed-storage Graphs;
+// codec in src/graph/varint.hpp):
+//
+//   offset  size            field
+//   ------  --------------  ---------------------------------------------
+//        0  8               magic "SSGRAPH1"
+//        8  4 (u32)         format version (2)
+//       12  4 (u32)         endianness tag 0x01020304 as written
+//       16  8 (i64)         n
+//       24  8 (i64)         adj_len (= 2m, for num_edges without a decode)
+//       32  8 (u64)         FNV-1a checksum of the payload (see ssg.cpp)
+//       40  8 (u64)         flags: bit 0 = varint/delta-compressed payload
+//                           (must be exactly 0x1 in v2)
+//       48  8 (u64)         payload_bytes (size of the row payload section)
+//       56  8 (u64)         superblock (rows per index sample; must equal
+//                           cadj::kSuperblock — a codec-parameter change
+//                           bumps the version or rejects here)
+//       64  8*E             index[] (u64), E = ceil(n/superblock) + 1
+//    64+8E  payload_bytes   row payload (varint/delta rows, byte-packed)
+//
+// Versioning/endianness contract: readers reject any magic or endianness-
+// tag mismatch and any version they do not implement with
+// std::runtime_error rather than guessing — v1 files keep loading
+// byte-identically under a v2-capable reader, and a big-endian host reading
+// a little-endian file fails loudly on the tag. Truncated files, checksum
+// mismatches, and codec structure violations also throw; no load path ever
+// reads out of the file's bounds, hostile headers included.
 //
 // `load_ssg` copies into heap vectors; `mmap_ssg` maps the file read-only
 // and wraps the in-file arrays directly (zero allocation beyond the page
-// tables — the OS can evict and refault pages under memory pressure), which
-// is the intended path for the 10^7-vertex regime.
+// tables — the OS can evict and refault pages under memory pressure). The
+// v2 + mmap combination is the 10^8-vertex regime: adjacency RSS is capped
+// by the compressed payload and reclaimable under pressure.
 #pragma once
 
 #include <cstddef>
@@ -41,9 +67,11 @@ class CliArgs;
 namespace io {
 
 inline constexpr char kSsgMagic[8] = {'S', 'S', 'G', 'R', 'A', 'P', 'H', '1'};
-inline constexpr std::uint32_t kSsgVersion = 1;
+inline constexpr std::uint32_t kSsgVersion = 1;            // plain CSR payload
+inline constexpr std::uint32_t kSsgVersionCompressed = 2;  // varint/delta payload
 inline constexpr std::uint32_t kSsgEndianTag = 0x01020304u;
 inline constexpr std::size_t kSsgHeaderBytes = 64;
+inline constexpr std::uint64_t kSsgFlagCompressed = 1;  // v2 flags, bit 0
 
 // How much of the payload a load re-checks. Header fields and offsets
 // (monotone, matching adj_len — what row iteration indexes with) are
@@ -57,11 +85,16 @@ inline constexpr std::size_t kSsgHeaderBytes = 64;
 //            defeat this mode; that is what makes it "trusted".
 enum class SsgValidation { kFull, kTrusted };
 
-// Throws std::runtime_error on I/O failure.
+// Writes the format matching the graph's storage: v1 (plain CSR) for plain
+// graphs, v2 (compressed payload) for compressed ones. Goes through a
+// scratch file + atomic rename either way. Throws std::runtime_error on
+// I/O failure.
 void save_ssg(const std::string& path, const Graph& g);
 
-// Reads the whole file into owned heap storage. Throws std::runtime_error
-// on malformed header, truncation, or (in kFull mode) checksum mismatch.
+// Reads the whole file into owned heap storage (plain CSR for v1 files,
+// compressed for v2 — the returned Graph keeps the on-disk representation).
+// Throws std::runtime_error on malformed header, unsupported version,
+// truncation, or (in kFull mode) checksum mismatch / structural corruption.
 Graph load_ssg(const std::string& path,
                SsgValidation validation = SsgValidation::kFull);
 
@@ -82,8 +115,8 @@ Graph load_graph_file(const std::string& path, bool prefer_mmap = true,
 // by every exp binary and examples/simulate.
 Graph load_graph_file_from_args(const CliArgs& args);
 
-// Bytes the CSR payload of `g` occupies on disk and (mapped) in memory:
-// header + 8(n+1) + 4*2m.
+// Bytes `g` occupies on disk and (mapped) in memory: header + 8(n+1) + 4*2m
+// for plain storage, header + index + payload for compressed storage.
 std::int64_t ssg_file_bytes(const Graph& g);
 
 }  // namespace io

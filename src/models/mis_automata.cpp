@@ -160,9 +160,12 @@ class BeepingMisProcess final : public Process {
       return net_.state(v) == TwoStateBeepAutomaton::kBlack && e.counter(v, 0) == 0;
     };
     if (stable_black(u)) return true;
-    for (Vertex v : graph().neighbors(u))
-      if (stable_black(v)) return true;
-    return false;
+    bool covered = false;
+    graph().for_each_neighbor(u, [&](Vertex v) {
+      covered = stable_black(v);
+      return !covered;
+    });
+    return covered;
   }
 
   void verify_output() const override {
@@ -223,9 +226,12 @@ class StoneAgeMisProcess final : public Process {
              e.counter(v, 0) + e.counter(v, 1) == 0;
     };
     if (stable_black(u)) return true;
-    for (Vertex v : graph().neighbors(u))
-      if (stable_black(v)) return true;
-    return false;
+    bool covered = false;
+    graph().for_each_neighbor(u, [&](Vertex v) {
+      covered = stable_black(v);
+      return !covered;
+    });
+    return covered;
   }
 
   void verify_output() const override {

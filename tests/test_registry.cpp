@@ -15,8 +15,10 @@
 //      workload gets all of this by registering, with zero new test code.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/init.hpp"
@@ -26,9 +28,14 @@
 #include "core/two_state.hpp"
 #include "core/verify.hpp"
 #include "graph/generators.hpp"
+#include "graph/ssg.hpp"
 #include "harness/experiment.hpp"
 #include "harness/registry.hpp"
 #include "support/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>  // getpid for the storage-case scratch directory
+#endif
 
 namespace ssmis {
 namespace {
@@ -39,8 +46,9 @@ namespace {
 std::uint64_t trajectory_fingerprint(const std::string& name,
                                      const ProtocolParams& params,
                                      const Graph& g, std::uint64_t seed,
-                                     int steps) {
+                                     int steps, int shards = 1) {
   const auto process = ProtocolRegistry::instance().make(name, g, params, seed);
+  if (shards > 1) process->set_shards(shards);
   std::uint64_t h = kFnv1aBasis;
   const auto fold = [&] {
     for (Vertex u = 0; u < g.num_vertices(); ++u) {
@@ -54,6 +62,81 @@ std::uint64_t trajectory_fingerprint(const std::string& name,
     fold();
   }
   return h;
+}
+
+// The golden graph every fingerprint below is pinned on, in each of the
+// four storage modes the substrate supports. The mmap'd entries hold their
+// files open via the Graph's keep-alive backing; the scratch directory is
+// cleaned up when the caller drops the vector.
+struct StorageCase {
+  std::string name;
+  Graph graph;
+};
+
+std::vector<StorageCase> golden_graph_storages() {
+  const Graph plain = gen::gnp(96, 0.06, 5);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("ssmis_registry_storage_" + std::to_string(::getpid()));
+  std::filesystem::create_directories(dir);
+  const std::string v1 = (dir / "golden_v1.ssg").string();
+  const std::string v2 = (dir / "golden_v2.ssg").string();
+  io::save_ssg(v1, plain);
+  io::save_ssg(v2, Graph::compress(plain));
+  std::vector<StorageCase> cases;
+  cases.push_back({"plain", plain});
+  cases.push_back({"mmap-v1", io::mmap_ssg(v1)});
+  cases.push_back({"compressed", Graph::compress(plain)});
+  cases.push_back({"compressed-mmap-v2", io::mmap_ssg(v2)});
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // unix: mappings outlive the unlink
+  return cases;
+}
+
+// The pre-registry golden constants (see GoldenTrajectoryFingerprints).
+// Factored so the SAME block pins every storage mode: a trajectory on a
+// compressed or mmap'd graph must be byte-for-byte the trajectory on its
+// plain CSR twin.
+void expect_legacy_goldens(const Graph& g, const std::string& where) {
+  const std::uint64_t seed = 42;
+  const int steps = 48;
+  const ProtocolParams none;
+  EXPECT_EQ(trajectory_fingerprint("2state", none, g, seed, steps),
+            0x9de0932b91ee94fbULL)
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("2state-variant", none, g, seed, steps),
+            0x2f33d9fc6f56c3b1ULL)
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("3state", none, g, seed, steps),
+            0xd41fe9dc85ac7cfbULL)
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("3color", none, g, seed, steps),
+            0xe7f52e1e33a1f6d4ULL)
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("daemon", none, g, seed, steps),
+            0x9de0932b91ee94fbULL)  // synchronous daemon == 2state
+      << where;
+  ProtocolParams subset;
+  subset.set("daemon", "random");
+  subset.set("rho", "0.7");
+  EXPECT_EQ(trajectory_fingerprint("daemon", subset, g, seed, steps),
+            0xda2fedf113e676daULL)
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("beeping", none, g, seed, steps),
+            0x9de0932b91ee94fbULL)  // lossless beeping == 2state
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("stoneage", none, g, seed, steps),
+            0xd41fe9dc85ac7cfbULL)  // stone-age == 3state
+      << where;
+}
+
+void expect_new_workload_goldens(const Graph& g, const std::string& where) {
+  const ProtocolParams none;
+  EXPECT_EQ(trajectory_fingerprint("matching", none, g, 42, 48),
+            0x3ffa8d139f5950aaULL)
+      << where;
+  EXPECT_EQ(trajectory_fingerprint("priority", none, g, 42, 48),
+            0x38816e73a077402aULL)
+      << where;
 }
 
 TEST(Registry, AllSevenLegacyProtocolsRegistered) {
@@ -71,43 +154,51 @@ TEST(Registry, AllSevenLegacyProtocolsRegistered) {
 // Golden fingerprints captured from the PRE-registry drivers (gnp(96, 0.06,
 // graph seed 5), trial seed 42, uniform-random init, 48 steps). The first
 // seven pin bit-identity with the deleted enum-era/direct drivers; the
-// structural equalities below (beeping == 2state, stoneage == 3state,
-// synchronous daemon == 2state) were true pre-refactor and must survive.
+// structural equalities (beeping == 2state, stoneage == 3state, synchronous
+// daemon == 2state) were true pre-refactor and must survive. The same
+// constants are re-asserted on every storage mode of the same graph below
+// (CrossRepresentationStorageKeepsTheGoldens).
 TEST(Registry, GoldenTrajectoryFingerprints) {
-  const Graph g = gen::gnp(96, 0.06, 5);
-  const std::uint64_t seed = 42;
-  const int steps = 48;
-  const ProtocolParams none;
-
-  EXPECT_EQ(trajectory_fingerprint("2state", none, g, seed, steps),
-            0x9de0932b91ee94fbULL);
-  EXPECT_EQ(trajectory_fingerprint("2state-variant", none, g, seed, steps),
-            0x2f33d9fc6f56c3b1ULL);
-  EXPECT_EQ(trajectory_fingerprint("3state", none, g, seed, steps),
-            0xd41fe9dc85ac7cfbULL);
-  EXPECT_EQ(trajectory_fingerprint("3color", none, g, seed, steps),
-            0xe7f52e1e33a1f6d4ULL);
-  EXPECT_EQ(trajectory_fingerprint("daemon", none, g, seed, steps),
-            0x9de0932b91ee94fbULL);  // synchronous daemon == 2state
-  ProtocolParams subset;
-  subset.set("daemon", "random");
-  subset.set("rho", "0.7");
-  EXPECT_EQ(trajectory_fingerprint("daemon", subset, g, seed, steps),
-            0xda2fedf113e676daULL);
-  EXPECT_EQ(trajectory_fingerprint("beeping", none, g, seed, steps),
-            0x9de0932b91ee94fbULL);  // lossless beeping == 2state
-  EXPECT_EQ(trajectory_fingerprint("stoneage", none, g, seed, steps),
-            0xd41fe9dc85ac7cfbULL);  // stone-age == 3state
+  expect_legacy_goldens(gen::gnp(96, 0.06, 5), "plain");
 }
 
 // The new workloads' trajectories are pinned from their introduction.
 TEST(Registry, NewWorkloadGoldenFingerprints) {
-  const Graph g = gen::gnp(96, 0.06, 5);
+  expect_new_workload_goldens(gen::gnp(96, 0.06, 5), "plain");
+}
+
+// The bit-identity contract across the graph substrate: compressed and
+// mmap'd storages are pure representation changes, so the PRE-registry
+// golden constants must come out of them unchanged — not merely "equal to
+// plain today", equal to the constants pinned at the registry refactor.
+TEST(Registry, CrossRepresentationStorageKeepsTheGoldens) {
+  for (const StorageCase& storage : golden_graph_storages()) {
+    expect_legacy_goldens(storage.graph, storage.name);
+    expect_new_workload_goldens(storage.graph, storage.name);
+  }
+}
+
+// Table-driven over every registered protocol — current and future: each
+// one must produce the identical trajectory on plain, mmap'd-v1,
+// compressed, and mmap'd-v2 storage of the same graph, sequential and
+// sharded. A new workload gets this proof by registering, with zero new
+// test code.
+TEST(Registry, CrossRepresentationBitIdentityForEveryProtocol) {
+  const auto storages = golden_graph_storages();
   const ProtocolParams none;
-  EXPECT_EQ(trajectory_fingerprint("matching", none, g, 42, 48),
-            0x3ffa8d139f5950aaULL);
-  EXPECT_EQ(trajectory_fingerprint("priority", none, g, 42, 48),
-            0x38816e73a077402aULL);
+  for (const std::string& name : ProtocolRegistry::instance().names()) {
+    const std::uint64_t baseline =
+        trajectory_fingerprint(name, none, storages.front().graph, 42, 48);
+    for (const StorageCase& storage : storages) {
+      for (const int shards : {1, 4}) {
+        ASSERT_EQ(trajectory_fingerprint(name, none, storage.graph, 42, 48,
+                                         shards),
+                  baseline)
+            << name << " diverged on " << storage.name << " at " << shards
+            << " shard(s)";
+      }
+    }
+  }
 }
 
 // Round-by-round comparison against inline transcriptions of the deleted
@@ -229,11 +320,17 @@ TEST(Registry, OutputSetsMatchTheProtocolsOwnPredicates) {
 }
 
 TEST(Registry, ShardingIsBitIdenticalForEveryProtocol) {
+  // n = 512 with a dense-enough worklist: unlike the 96-vertex golden
+  // graph, this engages the engine's sharded decide (kShardGrain = 256).
+  // The sharded run additionally steps on COMPRESSED storage, so parallel
+  // stepping through the decode scratch is what is being race- and
+  // bit-checked, not just the sequential path.
   const Graph g = gen::gnp(512, 0.02, 17);
+  const Graph c = Graph::compress(g);
   const ProtocolParams params;
   for (const std::string& name : ProtocolRegistry::instance().names()) {
     const auto seq = ProtocolRegistry::instance().make(name, g, params, 3);
-    const auto par = ProtocolRegistry::instance().make(name, g, params, 3);
+    const auto par = ProtocolRegistry::instance().make(name, c, params, 3);
     par->set_shards(4);
     for (int r = 0; r < 40; ++r) {
       seq->step();

@@ -11,6 +11,11 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <csignal>
+#include <sys/resource.h>
+#endif
+
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "graph/ssg.hpp"
@@ -243,6 +248,92 @@ TEST_F(SsgTest, SavingOverTheMappedSourceFileIsSafe) {
   EXPECT_EQ(mapped, g);     // old mapping still intact (old inode alive)
   EXPECT_EQ(io::mmap_ssg(p), g);  // new file is complete and valid
 }
+
+TEST_F(SsgTest, TrustedRejectsMalformedHeadersLikeFull) {
+  // kTrusted only skips the O(m) payload audit; everything the HEADER can
+  // lie about — magic, version, endianness, counts, section sizes, offsets —
+  // is validated on every load. The same corruption matrix must therefore
+  // throw in both modes.
+  const Graph g = gen::gnp(200, 0.04, 13);
+  const std::string p = path("th.ssg");
+  io::save_ssg(p, g);
+  const auto pristine = read_all(p);
+
+  using Mutate = void (*)(std::vector<char>&);
+  const std::pair<const char*, Mutate> cases[] = {
+      {"bad magic", [](std::vector<char>& b) { b[0] = 'Z'; }},
+      {"unsupported version", [](std::vector<char>& b) { b[8] = 77; }},
+      {"endianness tag", [](std::vector<char>& b) { b[12] ^= char(0xff); }},
+      {"negative n",
+       [](std::vector<char>& b) {
+         const std::int64_t n = -4;
+         std::memcpy(b.data() + 16, &n, sizeof(n));
+       }},
+      {"n beyond Vertex range",
+       [](std::vector<char>& b) {
+         const std::int64_t n = std::int64_t{1} << 40;
+         std::memcpy(b.data() + 16, &n, sizeof(n));
+       }},
+      {"negative adj_len",
+       [](std::vector<char>& b) {
+         const std::int64_t a = -2;
+         std::memcpy(b.data() + 24, &a, sizeof(a));
+       }},
+      {"truncated mid-offsets",
+       [](std::vector<char>& b) { b.resize(io::kSsgHeaderBytes + 24); }},
+      {"truncated mid-adjacency", [](std::vector<char>& b) { b.resize(b.size() - 5); }},
+      {"non-monotone offsets",
+       [](std::vector<char>& b) {
+         const std::int64_t bogus = std::int64_t{1} << 50;
+         std::memcpy(b.data() + io::kSsgHeaderBytes + 8, &bogus, sizeof(bogus));
+       }},
+  };
+  for (const auto& [what, mutate] : cases) {
+    auto bytes = pristine;
+    mutate(bytes);
+    write_all(p, bytes);
+    EXPECT_THROW(io::load_ssg(p, io::SsgValidation::kTrusted), std::runtime_error)
+        << what;
+    EXPECT_THROW(io::mmap_ssg(p, io::SsgValidation::kTrusted), std::runtime_error)
+        << what;
+    EXPECT_THROW(io::load_ssg(p), std::runtime_error) << what;
+    EXPECT_THROW(io::mmap_ssg(p), std::runtime_error) << what;
+  }
+}
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST_F(SsgTest, SaveCleansUpScratchFileWhenTheWriteFails) {
+  // Simulate ENOSPC-style mid-write failure with RLIMIT_FSIZE: the graph
+  // below needs ~20 KB, the limit allows 4 KB, so the buffered write fails
+  // at flush time (SIGXFSZ ignored so write() returns EFBIG instead of
+  // killing the process). save_ssg must throw AND remove its scratch file —
+  // a crash-safe writer that strands .tmp litter on every full disk isn't.
+  const Graph g = gen::gnp(500, 0.02, 3);
+  ASSERT_GT(io::ssg_file_bytes(g), 8192);
+
+  struct rlimit old_limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  auto old_handler = std::signal(SIGXFSZ, SIG_IGN);
+  struct rlimit small = old_limit;
+  small.rlim_cur = 4096;
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &small), 0);
+
+  const std::string target = path("full_disk.ssg");
+  EXPECT_THROW(io::save_ssg(target, g), std::runtime_error);
+
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  std::signal(SIGXFSZ, old_handler);
+
+  // Neither the target nor any scratch file may remain.
+  EXPECT_FALSE(std::filesystem::exists(target));
+  for (const auto& entry : std::filesystem::directory_iterator(dir_))
+    ADD_FAILURE() << "stranded file: " << entry.path();
+
+  // And the writer still works once space is back.
+  io::save_ssg(target, g);
+  EXPECT_EQ(io::load_ssg(target), g);
+}
+#endif
 
 TEST_F(SsgTest, MissingFileThrows) {
   EXPECT_THROW(io::load_ssg(path("nope.ssg")), std::runtime_error);
