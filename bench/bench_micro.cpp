@@ -193,6 +193,7 @@ struct EngineBenchRow {
   double peak_rss_mb = 0.0;      // graph_build rows only: process high-water mark
   double endpoints_per_sec = 0.0;  // compressed_codec rows: decode throughput
   double bytes_per_edge = 0.0;     // compressed_codec rows: on-disk density
+  bool fast_forward = true;        // protocol_stabilized_step rows: ff knob state
   // Parallel rows recorded at a width beyond this host's cores measure
   // oversubscription, not speedup — the marker makes the caveat machine-
   // readable instead of a README footnote.
@@ -455,29 +456,50 @@ void append_protocol_rows(std::vector<EngineBenchRow>& rows) {
   const Graph g = gen::gnp(n, 8.0 / static_cast<double>(n), 7);
   const std::string gname = "gnp_avgdeg8_n" + std::to_string(n);
   for (const std::string& name : ProtocolRegistry::instance().names()) {
-    const ProtocolParams params;
-    auto p = ProtocolRegistry::instance().make(name, g, params, 1);
-    const RunResult pre = p->run(1000000, TraceMode::kNone);
-    const std::int64_t reps = 200;
-    std::int64_t checksum = 0;
-    const auto start = Clock::now();
-    for (std::int64_t i = 0; i < reps; ++i) {
-      p->step();
-      checksum += p->snapshot().black;
+    // Protocols that declare the stable-periodic fast-forward knob get an
+    // A/B pair (ff on and off); the rest get one row at the default.
+    const auto& opts = ProtocolRegistry::instance().options(name);
+    const bool has_ff =
+        std::find(opts.begin(), opts.end(), "fast-forward") != opts.end();
+    for (const bool ff : has_ff ? std::vector<bool>{true, false}
+                                : std::vector<bool>{true}) {
+      ProtocolParams params;
+      if (has_ff) params.set("fast-forward", ff ? "1" : "0");
+      auto p = ProtocolRegistry::instance().make(name, g, params, 1);
+      const RunResult pre = p->run(1000000, TraceMode::kNone);
+      // Settle well past stabilization so the timed window measures the
+      // steady state (parked periodic sets, drained lazy-switch replays).
+      for (int i = 0; i < 1000; ++i) p->step();
+      // Adaptive reps: fast-forwarded rows run in single-digit ns/round, so
+      // a fixed small rep count would measure clock granularity. Grow the
+      // window until it is comfortably above timer resolution.
+      std::int64_t reps = 200;
+      double ns = 0.0;
+      for (;;) {
+        std::int64_t checksum = 0;
+        const auto start = Clock::now();
+        for (std::int64_t i = 0; i < reps; ++i) {
+          p->step();
+          checksum += p->snapshot().black;
+        }
+        benchmark::DoNotOptimize(checksum);
+        ns = elapsed_ns(start);
+        if (ns >= 2e7 || reps >= (std::int64_t{1} << 22)) break;
+        reps *= 8;
+      }
+      EngineBenchRow row;
+      row.process = name;
+      row.graph = gname;
+      row.phase = "protocol_stabilized_step";
+      row.n = n;
+      row.m = g.num_edges();
+      row.trace = true;
+      row.rounds = reps;
+      row.ns_per_round = ns / static_cast<double>(reps);
+      row.trials_ok = pre.stabilized ? 1 : 0;  // repurposed: pre-run stabilized?
+      row.fast_forward = ff;
+      rows.push_back(row);
     }
-    benchmark::DoNotOptimize(checksum);
-    const double ns = elapsed_ns(start);
-    EngineBenchRow row;
-    row.process = name;
-    row.graph = gname;
-    row.phase = "protocol_stabilized_step";
-    row.n = n;
-    row.m = g.num_edges();
-    row.trace = true;
-    row.rounds = reps;
-    row.ns_per_round = ns / static_cast<double>(reps);
-    row.trials_ok = pre.stabilized ? 1 : 0;  // repurposed: pre-run stabilized?
-    rows.push_back(row);
   }
 }
 
@@ -533,10 +555,11 @@ void write_engine_json(const std::string& path) {
   int suspect_parallel_rows = 0;
   for (const EngineBenchRow& r : rows) suspect_parallel_rows += r.suspect ? 1 : 0;
   out << "{\n";
-  out << "  \"schema\": \"ssmis-bench-engine-v5\",\n";
+  out << "  \"schema\": \"ssmis-bench-engine-v6\",\n";
   out << "  \"description\": \"per-round stepping cost of the unified sparse "
          "process engine, near-stabilized rows for every registry protocol "
-         "(protocol_stabilized_step), parallel-runtime rows (sharded_step "
+         "(protocol_stabilized_step, fast-forward A/B pairs where the "
+         "protocol declares the knob), parallel-runtime rows (sharded_step "
          "ns/round and trial_batch trials/sec at 1/2/4/8 threads), and "
          "graph-substrate rows (graph_build edges/sec + peak RSS for the "
          "streaming CSR builder and the .ssg save/mmap round-trip), and "
@@ -565,7 +588,8 @@ void write_engine_json(const std::string& path) {
       out << ", \"endpoints_per_sec\": " << r.endpoints_per_sec
           << ", \"bytes_per_edge\": " << r.bytes_per_edge;
     if (r.phase == "protocol_stabilized_step")
-      out << ", \"pre_run_stabilized\": " << (r.trials_ok ? "true" : "false");
+      out << ", \"pre_run_stabilized\": " << (r.trials_ok ? "true" : "false")
+          << ", \"fast_forward\": " << (r.fast_forward ? "true" : "false");
     if (r.suspect) out << ", \"suspect\": true";
     out << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }

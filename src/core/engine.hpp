@@ -38,6 +38,7 @@
 #include <algorithm>
 #include <concepts>
 #include <cstdint>
+#include <iterator>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -110,11 +111,61 @@ concept ProcessRule = requires(const R r, typename R::Color c, const Vertex* cnt
   { r.transition(u, c, cnt, t) } -> std::convertible_to<typename R::Color>;
 };
 
+// Optional stable-periodic fast-forward extension (docs/architecture.md,
+// "Stable-periodic fast-forward"). A rule that implements it declares, for
+// some (color, counters) pairs, that the vertex's future orbit is
+// AUTONOMOUS: as long as its own neighbor counters stay frozen, its color
+// at any later round T is a pure function of (entry color, frozen counters,
+// entry round, T) plus the counter-based coins — and the rule promises that
+// along the orbit
+//
+//   * every engine predicate the rule defines (scheduled, and for
+//     stability-tracking rules active/violating/stable_black) is constant,
+//     with the scheduled predicate TRUE (a quiescent vertex is already off
+//     the worklist for free);
+//   * the only counter components of OTHER vertices that the orbit's color
+//     changes would move are components no live vertex's predicates or
+//     transition can observe while the mover is on its orbit (the "output
+//     projection" contract: the MIS-relevant projection of the orbit is
+//     constant, and neighbors can only see the projection).
+//
+// Under that contract the engine parks such vertices in a periodic set off
+// the hot worklist, leaves their stored color at the entry round, and
+// re-materializes them by ONE orbit_color evaluation exactly when a
+// neighbor's color change patches their counters, when a fault
+// (force_color) touches them or a neighbor, or when an exact-state query
+// needs them — so trajectories and fingerprints are bit-identical to the
+// dense semantics while near-stabilized rounds cost O(1).
+//
+//   bool fast_forwardable(Color c, const Vertex* cnt) const;
+//   Color orbit_color(Vertex u, Color c, const Vertex* cnt,
+//                     std::int64_t entry_round, std::int64_t now) const;
+//       // the orbit color at round `now` >= entry_round, given the color
+//       // held at the end of round `entry_round`; must cost O(1) (the
+//       // implemented orbits are memoryless: the color at round T depends
+//       // only on round-T coins), and must equal `c` when now == entry.
+//
+// Rules additionally declare `kOrbitPeriodHint` (the orbit period of the
+// output projection; 1 for the memoryless re-randomizing orbits) for
+// documentation and diagnostics.
+template <typename R>
+concept FastForwardRule =
+    ProcessRule<R> &&
+    requires(const R r, typename R::Color c, const Vertex* cnt, Vertex u,
+             std::int64_t t0, std::int64_t t1) {
+      { r.fast_forwardable(c, cnt) } -> std::convertible_to<bool>;
+      { r.orbit_color(u, c, cnt, t0, t1) } -> std::convertible_to<typename R::Color>;
+    };
+
 template <ProcessRule Rule>
 class ProcessEngine {
  public:
   using Color = typename Rule::Color;
   static constexpr bool kTracksStability = Rule::kTracksStability;
+  // Rules satisfying FastForwardRule get stable-periodic fast-forward; for
+  // everything else the machinery folds away at compile time (no periodic
+  // set, no extra branches in refresh, accessors stay raw).
+  static constexpr bool kFastForward = FastForwardRule<Rule>;
   static constexpr int kMaxCounters = 32;
   // Minimum worklist items a shard must get before fan-out pays for itself.
   static constexpr std::size_t kShardGrain = 256;
@@ -157,9 +208,12 @@ class ProcessEngine {
   void step() {
     const std::int64_t t = round_ + 1;
     decide(worklist_.items(), t);
+    // round_ advances before apply so that any vertex materialized out of
+    // the periodic set during the commit lands on its orbit value for the
+    // round being committed (colors_ always holds end-of-round_ state).
+    ++round_;
     apply();
     if constexpr (requires(Rule& r) { r.end_round(t); }) rule_.end_round(t);
-    ++round_;
   }
 
   // Daemon primitive: transitions exactly `chosen` (each must currently be
@@ -173,6 +227,14 @@ class ProcessEngine {
     ++stage_gen_;
     chosen_unique_.clear();
     for (Vertex u : chosen) {
+      // A fast-forwarded vertex is logically scheduled; bring its stored
+      // color up to date before it transitions (round_ is frozen under a
+      // daemon, so this is a bookkeeping no-op for parked orbits — there is
+      // no synchronous time for them to have advanced along).
+      if constexpr (kFastForward) {
+        if (u >= 0 && u < graph_->num_vertices() && periodic_.contains(u))
+          refresh(u);
+      }
       if (u < 0 || u >= graph_->num_vertices() ||
           (flags_[static_cast<std::size_t>(u)] & kScheduledBit) == 0)
         throw std::logic_error(
@@ -214,6 +276,12 @@ class ProcessEngine {
       throw std::out_of_range("force_color: vertex out of range");
     if (static_cast<int>(raw(c)) >= num_colors_)
       throw std::invalid_argument("force_color: color out of range");
+    // A fault is a re-activation point: materialize u first so the
+    // comparison (and the commit's prev-color accounting) sees the logical
+    // state, not the parked entry-round state.
+    if constexpr (kFastForward) {
+      if (periodic_.contains(u)) refresh(u);
+    }
     if (colors_[static_cast<std::size_t>(u)] == c) return;
     changed_.clear();
     staged_[static_cast<std::size_t>(u)] = c;
@@ -224,7 +292,61 @@ class ProcessEngine {
   // Re-derives worklist membership and aggregates from the (unchanged)
   // colors and counters. Call after mutating rule parameters that alter the
   // scheduling predicate (e.g. the beeping network's loss probability).
-  void notify_rule_changed() { rebuild_flags(); }
+  // Fast-forwarded vertices are materialized first (a rule change may
+  // invalidate the orbit declaration they entered under).
+  void notify_rule_changed() {
+    sync_fast_forward();
+    rebuild_flags();
+  }
+
+  // --- stable-periodic fast-forward ----------------------------------------
+
+  // Enables/disables the periodic-set optimization (FastForwardRule rules
+  // only; a no-op otherwise). On by default for eligible rules. Turning it
+  // off materializes every parked vertex, so the engine is back to plain
+  // dense-equivalent sparse stepping with identical state.
+  void set_fast_forward(bool on) {
+    if constexpr (kFastForward) {
+      if (on == fast_forward_) return;
+      fast_forward_ = on;
+      if (on) {
+        scan_worklist_for_orbits();
+      } else {
+        const std::vector<Vertex> snap = periodic_.items();
+        for (Vertex u : snap) refresh(u);  // flag is off: no re-entry
+      }
+    } else {
+      (void)on;
+    }
+  }
+  bool fast_forward_enabled() const {
+    if constexpr (kFastForward) return fast_forward_;
+    return false;
+  }
+  // Physical size of the periodic set (0 for non-fast-forward rules).
+  Vertex num_fast_forwarded() const {
+    if constexpr (kFastForward) return periodic_.size();
+    return 0;
+  }
+  // Whether u is currently parked in the periodic set (its live entry is in
+  // `worklist() ∪ this`, never both). Always false for non-ff rules.
+  bool fast_forwarded(Vertex u) const {
+    if constexpr (kFastForward) return periodic_.contains(u);
+    (void)u;
+    return false;
+  }
+  // Materializes every parked vertex (stored colors become exact for the
+  // current round) without disabling the optimization — members re-enter
+  // the periodic set with a fresh entry round. Exact-state accessors call
+  // this; repeated calls per round are O(|periodic set|) no-ops.
+  void sync_fast_forward() const {
+    if constexpr (kFastForward) {
+      if (periodic_.empty()) return;
+      ProcessEngine* self = const_cast<ProcessEngine*>(this);
+      const std::vector<Vertex> snap = periodic_.items();
+      for (Vertex u : snap) self->refresh(u);
+    }
+  }
 
   // --- state queries -------------------------------------------------------
 
@@ -236,21 +358,49 @@ class ProcessEngine {
   // Raw color values run over [0, num_colors()).
   int num_colors() const { return num_colors_; }
 
-  const std::vector<Color>& colors() const { return colors_; }
-  Color color(Vertex u) const { return colors_[static_cast<std::size_t>(u)]; }
+  // Exact-state accessors. With fast-forward engaged, the stored color of a
+  // parked vertex lags at its entry round, so these materialize what they
+  // expose before returning (O(|periodic set|) for the bulk views, O(1) /
+  // O(deg) for the per-vertex ones; zero-cost for non-fast-forward rules).
+  const std::vector<Color>& colors() const {
+    sync_fast_forward();
+    return colors_;
+  }
+  Color color(Vertex u) const {
+    if constexpr (kFastForward) {
+      if (periodic_.contains(u)) const_cast<ProcessEngine*>(this)->refresh(u);
+    }
+    return colors_[static_cast<std::size_t>(u)];
+  }
 
-  // Incrementally maintained neighbor counter j of u.
+  // Incrementally maintained neighbor counter j of u. Parked neighbors of u
+  // are materialized first, so the value is the exact dense-semantics one.
+  // (While a neighbor is parked, only the counter components the rule's
+  // output projection declares invariant are maintained; the accessor
+  // restores the rest on demand.)
   Vertex counter(Vertex u, int j) const {
-    return counters_[static_cast<std::size_t>(u) * static_cast<std::size_t>(k_) +
-                     static_cast<std::size_t>(j)];
+    return counters(u)[static_cast<std::size_t>(j)];
   }
   const Vertex* counters(Vertex u) const {
-    return counters_.data() +
-           static_cast<std::size_t>(u) * static_cast<std::size_t>(k_);
+    if constexpr (kFastForward) {
+      if (!periodic_.empty())
+        const_cast<ProcessEngine*>(this)->sync_neighbors(u);
+    }
+    return cnt_ptr(u);
   }
 
-  // Number of vertices currently holding color c (O(1), histogram-backed).
+  // Number of vertices currently holding color c (histogram-backed; syncs
+  // the periodic set first, so O(|periodic set|) under fast-forward).
   Vertex color_count(Color c) const {
+    sync_fast_forward();
+    return hist_[static_cast<std::size_t>(raw(c))];
+  }
+  // The raw histogram entry, without materializing parked orbits — O(1).
+  // Individual entries may be stale under fast-forward, but any sum over a
+  // set of colors closed under every declared orbit (e.g. black0 + black1
+  // for the 3-state family) is exact, which is what the wrappers' hot
+  // per-round accounting reads.
+  Vertex raw_color_count(Color c) const {
     return hist_[static_cast<std::size_t>(raw(c))];
   }
 
@@ -259,10 +409,32 @@ class ProcessEngine {
   bool scheduled(Vertex u) const {
     return (flags_[static_cast<std::size_t>(u)] & kScheduledBit) != 0;
   }
-  Vertex num_scheduled() const { return worklist_.size(); }
+  // Logical scheduled count: live worklist plus fast-forwarded vertices
+  // (parked orbits are scheduled every round by declaration).
+  Vertex num_scheduled() const {
+    if constexpr (kFastForward) return worklist_.size() + periodic_.size();
+    return worklist_.size();
+  }
+  // The LIVE worklist only — under fast-forward, parked vertices are
+  // excluded (that exclusion is the optimization). Logical queries should
+  // use num_scheduled()/scheduled_set().
   const VertexWorklist& worklist() const { return worklist_; }
   // Ascending order — what a dense seed-semantics scan would produce.
-  std::vector<Vertex> scheduled_set() const { return worklist_.sorted(); }
+  // Includes the fast-forwarded vertices.
+  std::vector<Vertex> scheduled_set() const {
+    if constexpr (kFastForward) {
+      if (!periodic_.empty()) {
+        const std::vector<Vertex> live = worklist_.sorted();
+        const std::vector<Vertex> parked = periodic_.sorted();
+        std::vector<Vertex> out;
+        out.reserve(live.size() + parked.size());
+        std::merge(live.begin(), live.end(), parked.begin(), parked.end(),
+                   std::back_inserter(out));
+        return out;
+      }
+    }
+    return worklist_.sorted();
+  }
 
   // Ascending list of the vertices satisfying `pred` (O(n) scan) — the
   // shared backing for the wrappers' black_set()/active_set()/... queries.
@@ -345,7 +517,7 @@ class ProcessEngine {
     for (std::size_t i = begin; i < end; ++i) {
       const Vertex u = items[i];
       const std::size_t su = static_cast<std::size_t>(u);
-      const Color next = rule_.transition(u, colors_[su], counters(u), t);
+      const Color next = rule_.transition(u, colors_[su], cnt_ptr(u), t);
       if (next != colors_[su]) {
         // Guard the histogram/counter indexing against a buggy rule (user
         // automata are extension points): fail loudly instead of corrupting.
@@ -396,10 +568,13 @@ class ProcessEngine {
   }
 
   // Phase 2: commit staged colors, patch counters of N(changed), and
-  // refresh flags/worklist/aggregates for N+(changed) only.
+  // refresh flags/worklist/aggregates for N+(changed) only. Touched parked
+  // vertices are materialized by their refresh (the re-activation point),
+  // which may touch further vertices — hence the index-based final loop.
   void apply() {
     ++touch_gen_;
     touched_.clear();
+    in_apply_ = true;
     for (Vertex u : changed_) {
       const std::size_t su = static_cast<std::size_t>(u);
       const Color prev = colors_[su];
@@ -429,7 +604,8 @@ class ProcessEngine {
         touch(v);
       }
     }
-    for (Vertex w : touched_) refresh(w);
+    for (std::size_t i = 0; i < touched_.size(); ++i) refresh(touched_[i]);
+    in_apply_ = false;
   }
 
   void touch(Vertex u) {
@@ -439,9 +615,18 @@ class ProcessEngine {
     touched_.push_back(u);
   }
 
+  // Raw (non-materializing) counter row — the view every internal phase and
+  // rule callback reads; live vertices' rows are exact in every component a
+  // rule predicate can observe (the fast-forward output-projection
+  // contract).
+  const Vertex* cnt_ptr(Vertex u) const {
+    return counters_.data() +
+           static_cast<std::size_t>(u) * static_cast<std::size_t>(k_);
+  }
+
   std::uint8_t compute_flags(Vertex u) const {
     const Color c = colors_[static_cast<std::size_t>(u)];
-    const Vertex* cnt = counters(u);
+    const Vertex* cnt = cnt_ptr(u);
     std::uint8_t f = rule_.scheduled(c, cnt) ? kScheduledBit : 0;
     if constexpr (kTracksStability) {
       if (rule_.active(c, cnt)) f |= kActiveBit;
@@ -453,28 +638,118 @@ class ProcessEngine {
 
   // Re-evaluates u's predicate flags and patches the worklist, aggregates,
   // and (when stability is tracked) the stable-black coverage counts.
+  //
+  // Under fast-forward this is also both the re-activation point (a parked
+  // u is materialized before anything reads its flags or color) and the
+  // entry point (a live scheduled u whose rule declares its current
+  // configuration an autonomous orbit is parked: removed from the live
+  // worklist with its kScheduledBit — and all predicate flags, frozen by
+  // the orbit's constancy promise — left set, so the O(1) aggregates stay
+  // the logical values).
   void refresh(Vertex u) {
     const std::size_t su = static_cast<std::size_t>(u);
+    if constexpr (kFastForward) {
+      if (periodic_.contains(u)) materialize(u);
+    }
     const std::uint8_t now = compute_flags(u);
     const std::uint8_t before = flags_[su];
-    if (now == before) return;
-    flags_[su] = now;
-    if ((now ^ before) & kScheduledBit) {
-      if (now & kScheduledBit)
-        worklist_.insert(u);
-      else
-        worklist_.erase(u);
-    }
-    if constexpr (kTracksStability) {
-      num_active_ += ((now >> 1) & 1) - ((before >> 1) & 1);
-      num_violations_ += ((now >> 2) & 1) - ((before >> 2) & 1);
-      num_stable_black_ += ((now >> 3) & 1) - ((before >> 3) & 1);
-      if ((now ^ before) & kStableBlackBit) {
-        const Vertex d = (now & kStableBlackBit) ? 1 : -1;
-        bump_covered(u, d);
-        for (Vertex v : nbrs(u)) bump_covered(v, d);
+    if (now != before) {
+      flags_[su] = now;
+      if ((now ^ before) & kScheduledBit) {
+        if (now & kScheduledBit)
+          worklist_.insert(u);
+        else
+          worklist_.erase(u);
+      }
+      if constexpr (kTracksStability) {
+        num_active_ += ((now >> 1) & 1) - ((before >> 1) & 1);
+        num_violations_ += ((now >> 2) & 1) - ((before >> 2) & 1);
+        num_stable_black_ += ((now >> 3) & 1) - ((before >> 3) & 1);
+        if ((now ^ before) & kStableBlackBit) {
+          const Vertex d = (now & kStableBlackBit) ? 1 : -1;
+          bump_covered(u, d);
+          for (Vertex v : nbrs(u)) bump_covered(v, d);
+        }
       }
     }
+    if constexpr (kFastForward) {
+      if (fast_forward_ && (now & kScheduledBit) &&
+          rule_.fast_forwardable(colors_[su], cnt_ptr(u))) {
+        worklist_.erase(u);
+        periodic_.insert(u);
+        ff_entry_[su] = round_;
+      }
+    }
+  }
+
+  // Exit the periodic set: advance u's stored color to the current round by
+  // one orbit evaluation, rejoin the live worklist, and patch the histogram
+  // and neighbor counters if the orbit moved. Callers re-derive u's flags
+  // right after (refresh). Only reached under kFastForward.
+  void materialize(Vertex u) {
+    const std::size_t su = static_cast<std::size_t>(u);
+    periodic_.erase(u);
+    worklist_.insert(u);  // kScheduledBit is still set — orbit invariant
+    const Color prev = colors_[su];
+    const Color now =
+        rule_.orbit_color(u, prev, cnt_ptr(u), ff_entry_[su], round_);
+    if (now == prev) return;
+    if (static_cast<int>(raw(now)) >= num_colors_)
+      throw std::logic_error("ProcessEngine: orbit produced a color out of range");
+    --hist_[raw(prev)];
+    ++hist_[raw(now)];
+    colors_[su] = now;
+    int nz = 0;
+    int js[kMaxCounters];
+    Vertex ds[kMaxCounters];
+    for (int j = 0; j < k_; ++j) {
+      const Vertex d = rule_.contribution(now, j) - rule_.contribution(prev, j);
+      if (d != 0) {
+        js[nz] = j;
+        ds[nz] = d;
+        ++nz;
+      }
+    }
+    if (nz == 0) return;
+    // Local neighbor copy: outside apply() the refresh pass below can
+    // materialize further vertices, which would reuse the shared decode
+    // scratch mid-iteration. Materializations that move a counter are rare
+    // (re-activation events), so the allocation is off the hot path.
+    const auto view = nbrs(u);
+    const std::vector<Vertex> nb(view.begin(), view.end());
+    for (Vertex v : nb) {
+      Vertex* base = counters_.data() +
+                     static_cast<std::size_t>(v) * static_cast<std::size_t>(k_);
+      for (int i = 0; i < nz; ++i) base[js[i]] += ds[i];
+    }
+    if (in_apply_) {
+      for (Vertex v : nb) touch(v);
+    } else {
+      for (Vertex v : nb) refresh(v);
+    }
+  }
+
+  // Materializes the parked neighbors of u (exact-counter accessor path).
+  void sync_neighbors(Vertex u) {
+    bool any = false;
+    for (Vertex v : nbrs(u)) {
+      if (periodic_.contains(v)) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) return;
+    const auto view = nbrs(u);
+    const std::vector<Vertex> nb(view.begin(), view.end());
+    for (Vertex v : nb)
+      if (periodic_.contains(v)) refresh(v);
+  }
+
+  // Parks every eligible member of the live worklist (fast-forward enable /
+  // full rebuild). refresh() is a no-op for the ineligible.
+  void scan_worklist_for_orbits() {
+    const std::vector<Vertex> snap = worklist_.items();
+    for (Vertex u : snap) refresh(u);
   }
 
   // Decode-aware neighbor view for the sequential engine phases (apply,
@@ -530,6 +805,12 @@ class ProcessEngine {
     const Vertex n = graph_->num_vertices();
     flags_.assign(static_cast<std::size_t>(n), 0);
     worklist_.reset(n);
+    if constexpr (kFastForward) {
+      // Callers materialize first (notify_rule_changed) or are starting
+      // from exact colors (construction), so dropping the set is safe.
+      periodic_.reset(n);
+      ff_entry_.assign(static_cast<std::size_t>(n), round_);
+    }
     num_active_ = 0;
     num_violations_ = 0;
     num_stable_black_ = 0;
@@ -558,6 +839,9 @@ class ProcessEngine {
       for (Vertex u = 0; u < n; ++u)
         if (covered_[static_cast<std::size_t>(u)] == 0) ++num_unstable_;
     }
+    if constexpr (kFastForward) {
+      if (fast_forward_) scan_worklist_for_orbits();
+    }
   }
 
   const Graph* graph_;
@@ -568,6 +852,15 @@ class ProcessEngine {
   std::vector<std::uint8_t> flags_;
   VertexWorklist worklist_;
   std::vector<Vertex> covered_;  // stable blacks in N+[u] (stability rules)
+
+  // Stable-periodic fast-forward state (empty / unused unless the rule
+  // satisfies FastForwardRule). Invariant: periodic_ and worklist_ are
+  // disjoint, their union is exactly the flagged-scheduled vertices, and a
+  // member of periodic_ holds its end-of-ff_entry_[u] color in colors_.
+  VertexWorklist periodic_;
+  std::vector<std::int64_t> ff_entry_;
+  bool fast_forward_ = kFastForward;
+  bool in_apply_ = false;
 
   // Scratch for decide/apply (generation-marked to avoid per-round clears;
   // 64-bit so the marks cannot wrap and collide within any feasible run).

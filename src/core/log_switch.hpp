@@ -35,6 +35,16 @@ class SwitchProcess {
   // Advances the switch by one round, in lockstep with the MIS process.
   virtual void step() = 0;
 
+  // Replays `rounds` consecutive step()s (no-op for rounds <= 0). Used by
+  // the 3-color fast-forward path, which defers switch rounds while no
+  // gray vertex can read sigma and replays them — bit-identically, since
+  // every implementation is a pure function of (state, round, coins) —
+  // just before one can. Implementations with cheaper batch advancement
+  // override this.
+  virtual void advance(std::int64_t rounds) {
+    for (std::int64_t i = 0; i < rounds; ++i) step();
+  }
+
   // sigma_t(u) where t is the number of step() calls so far.
   virtual bool on(Vertex u) const = 0;
 
@@ -55,6 +65,7 @@ class RandomizedLogSwitch final : public SwitchProcess {
                       unsigned zeta_log2_den = 7);
 
   void step() override { clock_.step(); }
+  void advance(std::int64_t rounds) override { clock_.advance(rounds); }
   bool on(Vertex u) const override { return clock_.level(u) <= 2; }
   std::int64_t round() const override { return clock_.round(); }
   int num_states() const override { return clock_.num_states(); }
@@ -76,6 +87,7 @@ class PhaseClockSwitch final : public SwitchProcess {
                    std::uint64_t zeta_num = 1, unsigned zeta_log2_den = 7);
 
   void step() override { clock_.step(); }
+  void advance(std::int64_t rounds) override { clock_.advance(rounds); }
   bool on(Vertex u) const override { return clock_.level(u) <= clock_.d() - 1; }
   std::int64_t round() const override { return clock_.round(); }
   int num_states() const override { return clock_.num_states(); }
@@ -89,6 +101,9 @@ class PhaseClockSwitch final : public SwitchProcess {
 class AlwaysOnSwitch final : public SwitchProcess {
  public:
   void step() override { ++round_; }
+  void advance(std::int64_t rounds) override {
+    if (rounds > 0) round_ += rounds;
+  }
   bool on(Vertex) const override { return true; }
   std::int64_t round() const override { return round_; }
   int num_states() const override { return 1; }
@@ -100,6 +115,9 @@ class AlwaysOnSwitch final : public SwitchProcess {
 class NeverOnSwitch final : public SwitchProcess {
  public:
   void step() override { ++round_; }
+  void advance(std::int64_t rounds) override {
+    if (rounds > 0) round_ += rounds;
+  }
   bool on(Vertex) const override { return false; }
   std::int64_t round() const override { return round_; }
   int num_states() const override { return 1; }
@@ -114,6 +132,9 @@ class PeriodicSwitch final : public SwitchProcess {
   PeriodicSwitch(std::int64_t off_len, std::int64_t on_len);
 
   void step() override { ++round_; }
+  void advance(std::int64_t rounds) override {
+    if (rounds > 0) round_ += rounds;
+  }
   bool on(Vertex) const override {
     return round_ % (off_len_ + on_len_) >= off_len_;
   }

@@ -72,6 +72,10 @@ void PhaseClock::step() {
   ++round_;
 }
 
+void PhaseClock::advance(std::int64_t rounds) {
+  for (std::int64_t i = 0; i < rounds; ++i) step();
+}
+
 void PhaseClock::force_level(Vertex u, int lvl) {
   if (u < 0 || u >= graph_->num_vertices())
     throw std::out_of_range("force_level: vertex out of range");

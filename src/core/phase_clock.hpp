@@ -39,6 +39,11 @@ class PhaseClock {
                                        unsigned zeta_log2_den = 7);
 
   void step();
+  // Replays `rounds` consecutive step()s (no-op for rounds <= 0). The clock
+  // trajectory is a pure function of (levels, round, coins), so a deferred
+  // batch replay is bit-identical to having stepped every round — the
+  // lazy-switch hook of the 3-color fast-forward path.
+  void advance(std::int64_t rounds);
   std::int64_t round() const { return round_; }
 
   int d() const { return d_; }

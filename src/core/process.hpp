@@ -107,6 +107,12 @@ class Process {
   // Shards the engine's decide phase across the shared thread pool
   // (bit-identical trajectories at any value; 1 = sequential).
   virtual void set_shards(int shards) = 0;
+
+  // Toggles the stable-periodic fast-forward optimization (on by default
+  // where the protocol supports it; a no-op elsewhere). Purely a schedule
+  // change: trajectories, aggregates, and outputs are bit-identical either
+  // way, which tests/test_fast_forward.cpp pins.
+  virtual void set_fast_forward(bool /*on*/) {}
 };
 
 // Adapter for wrappers satisfying the MisProcess concept (the direct
@@ -127,6 +133,12 @@ class MisProcessAdapter : public Process {
     return run_until_stabilized(process_, max_rounds, mode);
   }
   void set_shards(int shards) override { process_.set_shards(shards); }
+  void set_fast_forward(bool on) override {
+    if constexpr (requires(P& p) { p.set_fast_forward(on); })
+      process_.set_fast_forward(on);
+    else
+      (void)on;
+  }
 
   P& impl() { return process_; }
   const P& impl() const { return process_; }

@@ -40,19 +40,24 @@ const ProtocolRegistrar kThreeColorProtocol{
     "3color",
     "the paper's 3-color MIS process (Definition 28) with the randomized "
     "6-state logarithmic switch (or --proto-switch-d=D for the generalized "
-    "phase-clock switch): poly(log n) on G(n,p) for ALL p",
-    {"switch-d"},
+    "phase-clock switch): poly(log n) on G(n,p) for ALL p "
+    "(--proto-fast-forward=0 disables the lazy-switch fast-forward)",
+    {"switch-d", "fast-forward"},
     [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
       const CoinOracle coins(seed);
       auto init = make_init_g(g, params.init, coins);
+      std::unique_ptr<ThreeColorProcess> p;
       if (params.has("switch-d")) {
         const int d = static_cast<int>(params.get_int("switch-d", 3));
-        return std::make_unique<ThreeColorProcess>(ThreeColorMIS(
+        p = std::make_unique<ThreeColorProcess>(ThreeColorMIS(
             g, std::move(init), std::make_unique<PhaseClockSwitch>(g, d, coins),
             coins));
+      } else {
+        p = std::make_unique<ThreeColorProcess>(
+            ThreeColorMIS::with_randomized_switch(g, std::move(init), coins));
       }
-      return std::make_unique<ThreeColorProcess>(
-          ThreeColorMIS::with_randomized_switch(g, std::move(init), coins));
+      p->impl().set_fast_forward(params.get_bool("fast-forward", true));
+      return p;
     }};
 
 }  // namespace

@@ -80,11 +80,32 @@ class ThreeColorRule {
   }
 
   // The switch advances in lockstep, *after* its round-(t-1) value was read.
-  void end_round(std::int64_t) { switch_->step(); }
+  // Under deferral (the 3-color fast-forward path) the advancement is
+  // recorded instead of executed: only gray transitions read sigma, so
+  // while no gray vertex exists the O(n + m) clock round can be postponed
+  // and replayed — bit-identically, the clock being autonomous — right
+  // before the next round that could read it.
+  void end_round(std::int64_t) {
+    if (defer_switch_)
+      ++deferred_rounds_;
+    else
+      switch_->step();
+  }
+
+  // Lazy-switch controls, driven by ThreeColorMIS::step (which guarantees
+  // replay happens before any round with gray vertices decides).
+  void set_defer_switch(bool defer) { defer_switch_ = defer; }
+  std::int64_t deferred_rounds() const { return deferred_rounds_; }
+  void replay_switch() {
+    switch_->advance(deferred_rounds_);
+    deferred_rounds_ = 0;
+  }
 
  private:
   CoinOracle coins_;
   SwitchProcess* switch_;
+  bool defer_switch_ = false;
+  std::int64_t deferred_rounds_ = 0;
 };
 
 class ThreeColorMIS {
@@ -108,7 +129,24 @@ class ThreeColorMIS {
                          std::make_unique<RandomizedLogSwitch>(g, coins), coins);
   }
 
-  void step() { engine_.step(); }
+  // One synchronous round. With fast-forward on (the default), the O(n + m)
+  // switch round is deferred while the worklist is empty — grays are always
+  // scheduled, so an empty worklist means no vertex reads sigma — and
+  // replayed in a single batch before the next non-quiet round decides.
+  // Gating on the worklist rather than the gray count alone keeps the
+  // deferral from flapping pre-stabilization (sparse runs pass through
+  // many zero-gray rounds whose actives re-spawn grays immediately, and a
+  // one-round defer/replay cycle is pure overhead). Post-stabilization
+  // (grays drained) a round is O(1); trajectories are bit-identical.
+  void step() {
+    if (fast_forward_) {
+      ThreeColorRule& r = engine_.rule();
+      const bool quiet = engine_.worklist().empty();
+      if (!quiet && r.deferred_rounds() > 0) r.replay_switch();
+      r.set_defer_switch(quiet);
+    }
+    engine_.step();
+  }
   std::int64_t round() const { return engine_.round(); }
 
   const Graph& graph() const { return engine_.graph(); }
@@ -136,8 +174,17 @@ class ThreeColorMIS {
 
   std::vector<Vertex> black_set() const;
 
-  const SwitchProcess& switch_process() const { return *switch_; }
-  SwitchProcess& switch_process() { return *switch_; }
+  // Exact-switch accessors: replay any deferred clock rounds first, so
+  // external reads (and fault injections via force_level) always see — and
+  // mutate — the logical round-aligned switch state.
+  const SwitchProcess& switch_process() const {
+    const_cast<ThreeColorMIS*>(this)->sync_switch();
+    return *switch_;
+  }
+  SwitchProcess& switch_process() {
+    sync_switch();
+    return *switch_;
+  }
 
   // Combined per-vertex state count (3 colors x switch states).
   int num_states() const { return 3 * switch_->num_states(); }
@@ -151,6 +198,23 @@ class ThreeColorMIS {
   // in the sequential end-of-round hook, after decided colors commit.
   void set_shards(int shards) { engine_.set_shards(shards); }
 
+  // Stable-periodic fast-forward toggle (on by default): for 3-color the
+  // optimization is the lazy switch above — the engine side has no orbits
+  // to declare (stable blacks and covered whites already leave the
+  // worklist). Turning it off replays any deferred rounds, restoring exact
+  // lockstep. Bit-identical trajectories either way.
+  void set_fast_forward(bool on) {
+    if (!on) {
+      sync_switch();
+      engine_.rule().set_defer_switch(false);
+    }
+    fast_forward_ = on;
+  }
+  bool fast_forward_enabled() const { return fast_forward_; }
+  std::int64_t deferred_switch_rounds() const {
+    return engine_.rule().deferred_rounds();
+  }
+
   const Engine& engine() const { return engine_; }
 
  private:
@@ -162,10 +226,16 @@ class ThreeColorMIS {
     return sw;
   }
 
+  void sync_switch() {
+    ThreeColorRule& r = engine_.rule();
+    if (r.deferred_rounds() > 0) r.replay_switch();
+  }
+
   // Declaration order matters: the engine's rule holds a raw pointer into
   // `switch_`, which must outlive (and be constructed before) the engine.
   std::unique_ptr<SwitchProcess> switch_;
   Engine engine_;
+  bool fast_forward_ = true;
 };
 
 }  // namespace ssmis

@@ -18,12 +18,15 @@ const ProtocolRegistrar kThreeStateProtocol{
     "3state",
     "the paper's 3-state MIS process (Definition 5): stable blacks keep "
     "re-randomizing black1/black0; stone-age implementable, no collision "
-    "detection",
-    {},
+    "detection (--proto-fast-forward=0 disables stable-periodic "
+    "fast-forward)",
+    {"fast-forward"},
     [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
       const CoinOracle coins(seed);
-      return std::make_unique<MisFamilyAdapter<ThreeStateMIS>>(
+      auto p = std::make_unique<MisFamilyAdapter<ThreeStateMIS>>(
           ThreeStateMIS(g, make_init3(g, params.init, coins), coins));
+      p->impl().set_fast_forward(params.get_bool("fast-forward", true));
+      return p;
     }};
 
 }  // namespace

@@ -80,6 +80,25 @@ class ThreeStateRule {
     return Color3::kWhite;  // scheduled non-active: black0 with black1 neighbor
   }
 
+  // --- stable-periodic fast-forward (engine.hpp, FastForwardRule) ----------
+  //
+  // A stable black (black, no black neighbor) re-randomizes black1/black0
+  // forever: its color at round T is fair_coin(T, u) alone — a memoryless
+  // orbit (period-1 output projection: "black"). Along it every predicate
+  // above is constant (active/scheduled/stable_black true, violating
+  // false), and the only neighbor-counter component the orbit moves is
+  // kBlack1Nbr — which only black0 vertices read, and no black vertex can
+  // be adjacent to a stable black. That is the output-projection contract.
+  static constexpr std::int64_t kOrbitPeriodHint = 1;
+  bool fast_forwardable(Color3 c, const Vertex* cnt) const {
+    return is_black(c) && cnt[kBlackNbr] == 0;
+  }
+  Color3 orbit_color(Vertex u, Color3 c, const Vertex* /*cnt*/,
+                     std::int64_t entry_round, std::int64_t now) const {
+    if (now == entry_round) return c;
+    return coins_.fair_coin(now, u) ? Color3::kBlack1 : Color3::kBlack0;
+  }
+
  private:
   CoinOracle coins_;
 };
@@ -114,9 +133,12 @@ class ThreeStateMIS {
 
   bool stable_black(Vertex u) const { return engine_.stable_black(u); }
 
+  // Raw histogram sum: exact under fast-forward (the parked orbits stay
+  // within {black0, black1}) and O(1), so the per-round tracer never forces
+  // a periodic-set sync.
   Vertex num_black() const {
-    return engine_.color_count(Color3::kBlack0) +
-           engine_.color_count(Color3::kBlack1);
+    return engine_.raw_color_count(Color3::kBlack0) +
+           engine_.raw_color_count(Color3::kBlack1);
   }
   Vertex num_active() const { return engine_.num_active(); }
   Vertex num_stable_black() const { return engine_.num_stable_black(); }
@@ -132,6 +154,12 @@ class ThreeStateMIS {
   // Shards the decide phase across the shared thread pool (bit-identical
   // trajectories at any value; 1 = sequential).
   void set_shards(int shards) { engine_.set_shards(shards); }
+
+  // Stable-periodic fast-forward toggle (on by default; bit-identical
+  // trajectories either way — a throughput knob, like set_shards).
+  void set_fast_forward(bool on) { engine_.set_fast_forward(on); }
+  bool fast_forward_enabled() const { return engine_.fast_forward_enabled(); }
+  Vertex num_fast_forwarded() const { return engine_.num_fast_forwarded(); }
 
   const Engine& engine() const { return engine_; }
 

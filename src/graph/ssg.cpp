@@ -8,12 +8,14 @@
 #include <memory>
 #include <random>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "graph/compressed.hpp"
 #include "graph/io.hpp"
 #include "support/cli.hpp"
 #include "support/hash.hpp"
+#include "support/thread_pool.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define SSMIS_HAVE_MMAP 1
@@ -146,9 +148,13 @@ void validate_offsets(const std::string& path, std::int64_t n, std::int64_t adj_
 // rows desync the engine's incremental neighbor counters. All of it can
 // arrive with a perfectly valid checksum from an external writer, so the
 // default kFull load runs this O(m log maxdeg) scan; kTrusted skips it.
-void validate_adjacency(const std::string& path, std::int64_t n,
-                        const std::int64_t* offsets, const Vertex* adj) {
-  for (std::int64_t u = 0; u < n; ++u) {
+//
+// Audits rows [u_begin, u_end) in ascending order, throwing (via fail) at
+// the FIRST violation — the chunk decomposition below relies on that order.
+void audit_adjacency_rows(const std::string& path, std::int64_t n,
+                          const std::int64_t* offsets, const Vertex* adj,
+                          std::int64_t u_begin, std::int64_t u_end) {
+  for (std::int64_t u = u_begin; u < u_end; ++u) {
     for (std::int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
       const Vertex v = adj[i];
       if (v < 0 || v >= n)
@@ -168,6 +174,50 @@ void validate_adjacency(const std::string& path, std::int64_t n,
                        std::to_string(v) + " has no reverse entry)");
     }
   }
+}
+
+// The audit is read-only and row-independent, so large files fan it out
+// over the shared pool. Accept/reject behavior is byte-identical to the
+// sequential scan: each chunk scans its rows in ascending order and records
+// only its FIRST violation, and the lowest-numbered failing chunk's message
+// is the one rethrown — exactly the violation the sequential scan would hit
+// first. Below the threshold (or on 1-core hosts) the scan stays inline;
+// thread fan-out on a tiny file costs more than it saves.
+void validate_adjacency(const std::string& path, std::int64_t n,
+                        const std::int64_t* offsets, const Vertex* adj) {
+  constexpr std::int64_t kParallelEndpoints = std::int64_t{1} << 20;
+  const std::int64_t endpoints = n > 0 ? offsets[n] : 0;
+  const int width = std::min(
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())),
+      ThreadPool::kMaxWorkers);
+  if (endpoints < kParallelEndpoints || width <= 1 || n < 2) {
+    audit_adjacency_rows(path, n, offsets, adj, 0, n);
+    return;
+  }
+  // Endpoint-balanced chunk boundaries (equal shares of the adjacency
+  // array, not of the vertex range): a handful of huge rows must not
+  // serialize the whole scan behind one worker.
+  const int chunks = static_cast<int>(
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(width) * 4));
+  std::vector<std::int64_t> bounds(static_cast<std::size_t>(chunks) + 1, 0);
+  for (int c = 1; c < chunks; ++c) {
+    const std::int64_t target = endpoints / chunks * c;
+    const std::int64_t* it = std::lower_bound(offsets, offsets + n + 1, target);
+    bounds[static_cast<std::size_t>(c)] =
+        std::max<std::int64_t>(it - offsets, bounds[static_cast<std::size_t>(c) - 1]);
+  }
+  bounds[static_cast<std::size_t>(chunks)] = n;
+  std::vector<std::string> first_error(static_cast<std::size_t>(chunks));
+  ThreadPool::shared().parallel_for(chunks, width, [&](int c) {
+    try {
+      audit_adjacency_rows(path, n, offsets, adj, bounds[static_cast<std::size_t>(c)],
+                           bounds[static_cast<std::size_t>(c) + 1]);
+    } catch (const std::runtime_error& e) {
+      first_error[static_cast<std::size_t>(c)] = e.what();
+    }
+  });
+  for (const std::string& e : first_error)
+    if (!e.empty()) throw std::runtime_error(e);
 }
 
 // The codec validators throw without the file path; re-throw with it so a

@@ -108,6 +108,15 @@ std::string ProtocolRegistry::describe(const std::string& name) const {
   return oss.str();
 }
 
+const std::vector<std::string>& ProtocolRegistry::options(
+    const std::string& name) const {
+  auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw std::invalid_argument("ProtocolRegistry: unknown protocol '" + name +
+                                "' (registered: " + join(names()) + ")");
+  return it->second.options;
+}
+
 std::string ProtocolRegistry::describe_all() const {
   std::string out;
   for (const auto& [name, entry] : entries_) out += describe(name) + "\n";

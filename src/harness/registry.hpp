@@ -74,6 +74,12 @@ class ProtocolRegistry {
   // unknown name.
   std::string describe(const std::string& name) const;
 
+  // The `--proto-*` option keys the protocol declared (as registered, not
+  // sorted); throws std::invalid_argument on an unknown name. Lets generic
+  // drivers (the bench's fast-forward A/B rows) discover which protocols
+  // accept a knob without hardcoding the list.
+  const std::vector<std::string>& options(const std::string& name) const;
+
   // describe() of every protocol, one per line — the `--list-protocols`
   // output, shared by every binary.
   std::string describe_all() const;

@@ -162,6 +162,13 @@ class BeepingNetwork {
   // executions at any value; 1 = sequential).
   void set_shards(int shards) { engine_.set_shards(shards); }
 
+  // Stable-periodic fast-forward toggle: accepted for A/B symmetry with
+  // the other networks, but a no-op here — BeepingAutomaton declares no
+  // orbits (the 2-state family's stable states are quiescent, i.e. already
+  // off the worklist), so the engine compiles the machinery away.
+  void set_fast_forward(bool on) { engine_.set_fast_forward(on); }
+  bool fast_forward_enabled() const { return engine_.fast_forward_enabled(); }
+
   // Fault-injection / test hook: overwrite one node's automaton state in
   // O(deg(u)), keeping the beep counters consistent. Not a round.
   void force_state(Vertex u, std::uint8_t s) { engine_.force_color(u, s); }

@@ -178,6 +178,7 @@ class BeepingMisProcess final : public Process {
   std::uint8_t raw_state(Vertex u) const override { return net_.state(u); }
   int num_colors() const override { return net_.engine().num_colors(); }
   void set_shards(int shards) override { net_.set_shards(shards); }
+  void set_fast_forward(bool on) override { net_.set_fast_forward(on); }
 
  private:
   TwoStateBeepAutomaton automaton_;  // must outlive (and precede) net_
@@ -211,8 +212,10 @@ class StoneAgeMisProcess final : public Process {
   RoundStats snapshot() const override {
     RoundStats s;
     s.round = net_.round();
-    s.black = net_.engine().color_count(ThreeStateStoneAgeAutomaton::kBlack0) +
-              net_.engine().color_count(ThreeStateStoneAgeAutomaton::kBlack1);
+    // Raw histogram sum: exact under fast-forward (parked orbits stay
+    // within {black0, black1}) and O(1) per round.
+    s.black = net_.engine().raw_color_count(ThreeStateStoneAgeAutomaton::kBlack0) +
+              net_.engine().raw_color_count(ThreeStateStoneAgeAutomaton::kBlack1);
     s.active = net_.engine().num_scheduled();
     return s;
   }
@@ -244,6 +247,7 @@ class StoneAgeMisProcess final : public Process {
   std::uint8_t raw_state(Vertex u) const override { return net_.state(u); }
   int num_colors() const override { return net_.engine().num_colors(); }
   void set_shards(int shards) override { net_.set_shards(shards); }
+  void set_fast_forward(bool on) override { net_.set_fast_forward(on); }
 
  private:
   ThreeStateStoneAgeAutomaton automaton_;  // must outlive (and precede) net_
@@ -254,32 +258,39 @@ const ProtocolRegistrar kBeepingProtocol{
     "beeping",
     "the 2-state MIS automaton in the beeping model (1 bit/round; "
     "--proto-sender-cd=0 disables sender collision detection, "
-    "--proto-loss sets the carrier-sense loss rate); lossless runs are "
+    "--proto-loss sets the carrier-sense loss rate, "
+    "--proto-fast-forward=0 disables stable-periodic fast-forward — a no-op "
+    "A/B knob here, the automaton declares no orbits); lossless runs are "
     "bit-identical to 2state",
-    {"sender-cd", "loss"},
+    {"sender-cd", "loss", "fast-forward"},
     [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
       const CoinOracle coins(seed);
       const auto c2 = make_init2(g, params.init, coins);
       std::vector<std::uint8_t> init(c2.size());
       for (std::size_t i = 0; i < c2.size(); ++i)
         init[i] = TwoStateBeepAutomaton::encode(c2[i]);
-      return std::make_unique<BeepingMisProcess>(
+      auto p = std::make_unique<BeepingMisProcess>(
           g, std::move(init), coins, params.get_bool("sender-cd", true),
           params.get_double("loss", 0.0));
+      p->set_fast_forward(params.get_bool("fast-forward", true));
+      return p;
     }};
 
 const ProtocolRegistrar kStoneAgeProtocol{
     "stoneage",
     "the 3-state MIS automaton in the synchronous stone-age model "
-    "(2 channels, no collision detection); bit-identical to 3state",
-    {},
+    "(2 channels, no collision detection; --proto-fast-forward=0 disables "
+    "stable-periodic fast-forward); bit-identical to 3state",
+    {"fast-forward"},
     [](const Graph& g, const ProtocolParams& params, std::uint64_t seed) {
       const CoinOracle coins(seed);
       const auto c3 = make_init3(g, params.init, coins);
       std::vector<std::uint8_t> init(c3.size());
       for (std::size_t i = 0; i < c3.size(); ++i)
         init[i] = ThreeStateStoneAgeAutomaton::encode(c3[i]);
-      return std::make_unique<StoneAgeMisProcess>(g, std::move(init), coins);
+      auto p = std::make_unique<StoneAgeMisProcess>(g, std::move(init), coins);
+      p->set_fast_forward(params.get_bool("fast-forward", true));
+      return p;
     }};
 
 }  // namespace

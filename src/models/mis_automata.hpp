@@ -70,6 +70,20 @@ class ThreeStateStoneAgeAutomaton final : public StoneAgeAutomaton {
     return state == kWhite &&
            (heard_mask & ((1u << kChannelBlack0) | (1u << kChannelBlack1))) != 0;
   }
+  // A black node hearing silence is a stable black: it re-randomizes
+  // black1/black0 off its color coin alone, forever, and every neighbor is
+  // a silent white (a black neighbor would beep into our mask). The orbit
+  // is memoryless and its projection — in-MIS, beeping on exactly one
+  // channel — is constant; which channel it beeps on is invisible to the
+  // silent whites around it (they only test "some black channel heard").
+  bool orbit(std::uint8_t state, std::uint32_t heard_mask) const override {
+    return state != kWhite && heard_mask == 0;
+  }
+  std::uint8_t orbit_state(std::uint8_t /*state*/, std::uint32_t /*heard_mask*/,
+                           std::uint64_t w_color,
+                           std::uint64_t /*w_aux*/) const override {
+    return (w_color >> 63) != 0 ? kBlack1 : kBlack0;
+  }
   bool in_mis(std::uint8_t state) const override { return state != kWhite; }
 
   static std::uint8_t encode(Color3 c) { return static_cast<std::uint8_t>(c); }

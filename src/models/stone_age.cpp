@@ -26,11 +26,16 @@ StoneAgeNetwork::StoneAgeNetwork(const Graph& g, const StoneAgeAutomaton& automa
 
 void StoneAgeNetwork::step() {
   // Broadcast accounting against the frozen states (histogram sum over the
-  // constant-size state alphabet): silent states transmit nothing.
+  // constant-size state alphabet): silent states transmit nothing. Raw
+  // histogram entries: the sum over emitting states is exact under
+  // fast-forward (orbits keep the number of channels beeped on constant —
+  // part of the orbit contract in StoneAgeAutomaton), and staying off the
+  // exact-state accessor keeps the per-round cost O(states), not
+  // O(periodic set).
   const StoneAgeAutomaton& automaton = engine_.rule().automaton();
   for (int s = 0; s < automaton.num_states(); ++s) {
     if (automaton.emit(static_cast<std::uint8_t>(s)) >= 0)
-      total_transmissions_ += engine_.color_count(static_cast<std::uint8_t>(s));
+      total_transmissions_ += engine_.raw_color_count(static_cast<std::uint8_t>(s));
   }
   engine_.step();
 }

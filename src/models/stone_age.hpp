@@ -49,6 +49,23 @@ class StoneAgeAutomaton {
     return false;
   }
 
+  // Stable-periodic fast-forward hints (core/engine.hpp, FastForwardRule).
+  // orbit(state, heard) declares that as long as the heard mask stays put,
+  // the node's trajectory from this configuration is autonomous and
+  // memoryless — its state at any later round is orbit_state evaluated on
+  // that round's coin words alone — with the MIS-relevant projection
+  // (in_mis, and the number of channels beeped on) constant along the
+  // orbit, and with every state of the orbit non-quiescent. The default
+  // (no orbits) is always sound: it means no fast-forward.
+  virtual bool orbit(std::uint8_t /*state*/, std::uint32_t /*heard_mask*/) const {
+    return false;
+  }
+  virtual std::uint8_t orbit_state(std::uint8_t state, std::uint32_t /*heard_mask*/,
+                                   std::uint64_t /*w_color*/,
+                                   std::uint64_t /*w_aux*/) const {
+    return state;
+  }
+
   virtual bool in_mis(std::uint8_t state) const = 0;
 };
 
@@ -77,6 +94,21 @@ class StoneAgeRule {
     return automaton_->next(s, heard_mask(cnt),
                             coins_.word(t, u, CoinTag::kMisColor),
                             coins_.word(t, u, CoinTag::kSwitchBit));
+  }
+
+  // Stable-periodic fast-forward (engine.hpp): forwards the automaton's
+  // orbit declaration, drawing the same coin words transition() would, so
+  // a materialized state is bit-identical to having stepped every round.
+  static constexpr std::int64_t kOrbitPeriodHint = 1;
+  bool fast_forwardable(std::uint8_t s, const Vertex* cnt) const {
+    return automaton_->orbit(s, heard_mask(cnt));
+  }
+  std::uint8_t orbit_color(Vertex u, std::uint8_t s, const Vertex* cnt,
+                           std::int64_t entry_round, std::int64_t now) const {
+    if (now == entry_round) return s;
+    return automaton_->orbit_state(s, heard_mask(cnt),
+                                   coins_.word(now, u, CoinTag::kMisColor),
+                                   coins_.word(now, u, CoinTag::kSwitchBit));
   }
 
   const StoneAgeAutomaton& automaton() const { return *automaton_; }
@@ -121,6 +153,12 @@ class StoneAgeNetwork {
   // Shards the decide phase across the shared thread pool (bit-identical
   // executions at any value; 1 = sequential).
   void set_shards(int shards) { engine_.set_shards(shards); }
+
+  // Stable-periodic fast-forward toggle (on by default; engages only for
+  // automata that declare orbits — bit-identical trajectories either way).
+  void set_fast_forward(bool on) { engine_.set_fast_forward(on); }
+  bool fast_forward_enabled() const { return engine_.fast_forward_enabled(); }
+  Vertex num_fast_forwarded() const { return engine_.num_fast_forwarded(); }
 
   // Fault-injection / test hook: overwrite one node's automaton state in
   // O(deg(u)), keeping the channel counters consistent. Not a round.

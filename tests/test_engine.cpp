@@ -69,12 +69,18 @@ void expect_engine_consistent(const Engine& e, const std::string& context) {
         << context << ": histogram bucket " << c;
   }
 
-  // Worklist = scheduled predicate, exactly.
+  // Worklist ∪ periodic set = scheduled predicate, exactly and disjointly.
+  // (Fast-forwarded vertices are parked off the live worklist but remain
+  // logically scheduled; for non-ff rules fast_forwarded(u) is always
+  // false and this degenerates to worklist == scheduled.)
   Vertex want_scheduled = 0;
   for (Vertex u = 0; u < n; ++u) {
     const bool want = rule.scheduled(e.color(u), e.counters(u));
+    const bool live = e.worklist().contains(u);
+    const bool parked = e.fast_forwarded(u);
     ASSERT_EQ(e.scheduled(u), want) << context << ": scheduled flag of " << u;
-    ASSERT_EQ(e.worklist().contains(u), want) << context << ": worklist entry " << u;
+    ASSERT_EQ(live || parked, want) << context << ": worklist/periodic entry " << u;
+    ASSERT_FALSE(live && parked) << context << ": doubly tracked " << u;
     if (want) ++want_scheduled;
   }
   ASSERT_EQ(e.num_scheduled(), want_scheduled) << context;

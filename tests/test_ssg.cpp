@@ -356,5 +356,105 @@ TEST_F(SsgTest, LoadGraphFileDispatchesOnExtension) {
   EXPECT_EQ(io::load_graph_file(txt), g);
 }
 
+// ---- parallel kFull adjacency audit (files past the fan-out threshold) ----
+
+// Sequential transcription of the loader's adjacency audit, producing the
+// exact message the sequential scan would raise first (empty = accept). The
+// parallel fan-out in ssg.cpp must be byte-identical to this — same
+// accept/reject decision, same message — regardless of chunking.
+std::string reference_first_audit_error(const std::string& p, std::int64_t n,
+                                        const std::int64_t* offsets,
+                                        const Vertex* adj) {
+  const auto msg = [&p](const std::string& what) { return "ssg: " + p + ": " + what; };
+  for (std::int64_t u = 0; u < n; ++u) {
+    for (std::int64_t i = offsets[u]; i < offsets[u + 1]; ++i) {
+      const Vertex v = adj[i];
+      if (v < 0 || v >= n)
+        return msg("corrupt adjacency (vertex id out of range at index " +
+                   std::to_string(i) + ")");
+      if (v == u)
+        return msg("corrupt adjacency (self-loop in row " + std::to_string(u) + ")");
+      if (i > offsets[u] && adj[i - 1] >= v)
+        return msg("corrupt adjacency (row " + std::to_string(u) +
+                   " not sorted/deduplicated)");
+      if (!std::binary_search(adj + offsets[static_cast<std::size_t>(v)],
+                              adj + offsets[static_cast<std::size_t>(v) + 1],
+                              static_cast<Vertex>(u)))
+        return msg("corrupt adjacency (edge " + std::to_string(u) + "->" +
+                   std::to_string(v) + " has no reverse entry)");
+    }
+  }
+  return "";
+}
+
+// A graph whose adjacency exceeds the 2^20-endpoint threshold, so the kFull
+// audit actually fans out over the thread pool.
+const Graph& audit_scale_graph() {
+  static const Graph g = gen::gnp(150000, 8.0 / 150000.0, 3);
+  return g;
+}
+
+TEST_F(SsgTest, ParallelAuditAcceptsLargeValidFile) {
+  const Graph& g = audit_scale_graph();
+  ASSERT_GT(2 * g.num_edges(), std::int64_t{1} << 20);  // past the threshold
+  const std::string p = path("big.ssg");
+  io::save_ssg(p, g);
+  EXPECT_EQ(io::load_ssg(p, io::SsgValidation::kFull), g);
+  EXPECT_EQ(io::mmap_ssg(p, io::SsgValidation::kFull), g);
+}
+
+TEST_F(SsgTest, ParallelAuditRejectsWithTheSequentialScansFirstError) {
+  const Graph& g = audit_scale_graph();
+  const std::string p = path("bigbad.ssg");
+  const std::size_t adj_start =
+      io::kSsgHeaderBytes + 8 * (static_cast<std::size_t>(g.num_vertices()) + 1);
+  const std::int64_t endpoints = static_cast<std::int64_t>(g.adjacency().size());
+
+  // Corruption matrix: an early out-of-range id, a late self-loop, a mid-file
+  // unsorted row, and an early+late pair (the lowest-chunk error must win).
+  const Vertex n = g.num_vertices();
+  struct Mutation {
+    const char* name;
+    std::vector<std::pair<std::int64_t, Vertex>> writes;  // (adj index, value)
+  };
+  const std::int64_t late = endpoints - 1;
+  const std::int64_t mid = endpoints / 2;
+  const std::vector<Mutation> cases = {
+      {"early out-of-range", {{0, n}}},
+      {"late out-of-range", {{late, n + 7}}},
+      {"mid out-of-range", {{mid, static_cast<Vertex>(-3)}}},
+      {"early+late, early must win", {{5, n + 1}, {late, n + 2}}},
+  };
+  for (const Mutation& mu : cases) {
+    io::save_ssg(p, g);
+    auto bytes = read_all(p);
+    for (const auto& [idx, value] : mu.writes) {
+      std::memcpy(bytes.data() + adj_start +
+                      static_cast<std::size_t>(idx) * sizeof(Vertex),
+                  &value, sizeof(Vertex));
+    }
+    refresh_checksum(bytes);
+    write_all(p, bytes);
+    // Expected message: replay the mutated arrays through the sequential
+    // transcription.
+    std::vector<Vertex> adj(g.adjacency().begin(), g.adjacency().end());
+    for (const auto& [idx, value] : mu.writes)
+      adj[static_cast<std::size_t>(idx)] = value;
+    const std::string want =
+        reference_first_audit_error(p, n, g.offsets().data(), adj.data());
+    ASSERT_FALSE(want.empty()) << mu.name;
+    for (const bool use_mmap : {false, true}) {
+      try {
+        use_mmap ? io::mmap_ssg(p, io::SsgValidation::kFull)
+                 : io::load_ssg(p, io::SsgValidation::kFull);
+        FAIL() << mu.name << " (mmap=" << use_mmap << "): expected a throw";
+      } catch (const std::runtime_error& e) {
+        EXPECT_EQ(std::string(e.what()), want)
+            << mu.name << " (mmap=" << use_mmap << ")";
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ssmis

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Diff a freshly emitted BENCH_engine.json against the committed baseline.
+
+Rows are matched on their identity key (process, graph, phase, n, threads,
+trace, fast_forward); a fresh ns/round more than --threshold (default 25%)
+above the baseline's is a regression. Rows marked "suspect": true on either
+side are skipped — they measured oversubscription on some host, not the
+engine. Throughput-style rows (trials_per_sec, edges_per_sec,
+endpoints_per_sec) regress in the opposite direction and are checked too.
+
+Exit status: 0 = no regressions (or rows only appeared/disappeared, which is
+reported but not fatal — schema growth is normal between PRs); 1 = at least
+one regression; 2 = bad invocation / unreadable input.
+
+Usage:
+  tools/bench_diff.py BASELINE FRESH [--threshold=0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def row_key(row):
+    return (
+        row.get("process", ""),
+        row.get("graph", ""),
+        row.get("phase", ""),
+        row.get("n", 0),
+        row.get("threads", 1),
+        bool(row.get("trace", False)),
+        bool(row.get("fast_forward", True)),
+    )
+
+
+def load_rows(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[row_key(row)] = row
+    return rows
+
+
+# (field, higher_is_worse): ns/round regresses upward, throughputs downward.
+METRICS = [
+    ("ns_per_round", True),
+    ("trials_per_sec", False),
+    ("edges_per_sec", False),
+    ("endpoints_per_sec", False),
+]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="fractional regression that fails the diff (default 0.25 = 25%%)",
+    )
+    args = parser.parse_args()
+
+    base = load_rows(args.baseline)
+    fresh = load_rows(args.fresh)
+
+    regressions = []
+    improvements = []
+    skipped_suspect = 0
+    for key, fresh_row in sorted(fresh.items()):
+        base_row = base.get(key)
+        if base_row is None:
+            continue  # new row: nothing to compare against
+        if fresh_row.get("suspect") or base_row.get("suspect"):
+            skipped_suspect += 1
+            continue
+        for field, higher_is_worse in METRICS:
+            b = base_row.get(field, 0.0)
+            f = fresh_row.get(field, 0.0)
+            if b <= 0.0 or f <= 0.0:
+                continue  # metric not meaningful for this row
+            ratio = f / b if higher_is_worse else b / f
+            # ratio > 1 means worse in this metric's bad direction; describe
+            # it as a factor (percentages are unreadable at 10^4x swings).
+            desc = (f"{ratio:.2f}x worse" if ratio >= 1.0
+                    else f"{1.0 / ratio:.2f}x better")
+            line = (
+                f"{key[0]} | {key[1]} | {key[2]} | threads={key[4]} "
+                f"trace={key[5]} ff={key[6]} | {field}: "
+                f"{b:.3g} -> {f:.3g} ({desc})"
+            )
+            if ratio > 1.0 + args.threshold:
+                regressions.append(line)
+            elif ratio < 1.0 - args.threshold:
+                improvements.append(line)
+
+    only_base = sorted(set(base) - set(fresh))
+    only_fresh = sorted(set(fresh) - set(base))
+
+    print(f"bench_diff: {len(fresh)} fresh rows vs {len(base)} baseline rows "
+          f"({skipped_suspect} suspect skipped, threshold {args.threshold:.0%})")
+    if only_base:
+        print(f"  rows only in baseline ({len(only_base)}):")
+        for key in only_base:
+            print(f"    - {key[0]} | {key[1]} | {key[2]} | threads={key[4]}")
+    if only_fresh:
+        print(f"  rows only in fresh ({len(only_fresh)}):")
+        for key in only_fresh:
+            print(f"    + {key[0]} | {key[1]} | {key[2]} | threads={key[4]}")
+    if improvements:
+        print(f"  improvements ({len(improvements)}):")
+        for line in improvements:
+            print(f"    {line}")
+    if regressions:
+        print(f"  REGRESSIONS ({len(regressions)}):")
+        for line in regressions:
+            print(f"    {line}")
+        return 1
+    print("  no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
