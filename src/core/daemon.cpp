@@ -8,6 +8,7 @@
 #include "core/process.hpp"
 #include "harness/registry.hpp"
 #include "rng/splitmix64.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -54,7 +55,7 @@ Vertex DaemonMIS::step() {
   engine_.apply_transitions(
       std::span<const Vertex>(chosen.data(), chosen.size()), steps_ + 1);
   ++steps_;
-  return static_cast<Vertex>(chosen.size());
+  return narrow_cast<Vertex>(chosen.size());
 }
 
 std::vector<Vertex> DaemonMIS::black_set() const {

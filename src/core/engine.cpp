@@ -12,7 +12,7 @@ void VertexWorklist::reset(Vertex n) {
 void VertexWorklist::insert(Vertex u) {
   Vertex& p = pos_[static_cast<std::size_t>(u)];
   if (p >= 0) return;
-  p = static_cast<Vertex>(items_.size());
+  p = narrow_cast<Vertex>(items_.size());
   items_.push_back(u);
 }
 

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "support/narrow.hpp"
 #include "support/thread_pool.hpp"
 
 namespace ssmis {
@@ -55,18 +56,18 @@ class VertexWorklist {
   // Empties the set and resizes the universe to [0, n).
   void reset(Vertex n);
 
-  bool contains(Vertex u) const { return pos_[static_cast<std::size_t>(u)] >= 0; }
+  [[nodiscard]] bool contains(Vertex u) const { return pos_[static_cast<std::size_t>(u)] >= 0; }
   void insert(Vertex u);  // no-op if already present
   void erase(Vertex u);   // no-op if absent (swap-with-last removal)
 
-  Vertex size() const { return static_cast<Vertex>(items_.size()); }
-  bool empty() const { return items_.empty(); }
+  [[nodiscard]] Vertex size() const { return narrow_cast<Vertex>(items_.size()); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
 
   // Unordered view of the members (stable while no insert/erase happens).
-  const std::vector<Vertex>& items() const { return items_; }
+  [[nodiscard]] const std::vector<Vertex>& items() const { return items_; }
 
   // Members in ascending vertex order (O(|set| log |set|) copy + sort).
-  std::vector<Vertex> sorted() const;
+  [[nodiscard]] std::vector<Vertex> sorted() const;
 
  private:
   std::vector<Vertex> items_;
@@ -99,16 +100,72 @@ class VertexWorklist {
 // and may provide `void end_round(int64_t t)` — a hook run once per
 // synchronous round after the colors were committed (the 3-color process
 // steps its logarithmic switch there).
+//
+// ProcessRule is decomposed into one named concept per obligation so that a
+// rule missing a member fails ProcessEngine's static_assert cascade with
+// the obligation's name in the diagnostic (pinned by
+// tests/compile_fail/bad_rule.cpp) instead of an overload-resolution spew.
 template <typename R>
-concept ProcessRule = requires(const R r, typename R::Color c, const Vertex* cnt,
-                               Vertex u, std::int64_t t, int j) {
-  typename R::Color;
+concept RuleHasColor = requires { typename R::Color; };
+
+// `static constexpr bool kTracksStability` — MIS bookkeeping on/off.
+template <typename R>
+concept RuleDeclaresStabilityTracking = requires {
   { R::kTracksStability } -> std::convertible_to<bool>;
+};
+
+// num_colors()/num_counters() — the engine's array shapes.
+template <typename R>
+concept RuleHasShape = requires(const R r) {
   { r.num_colors() } -> std::convertible_to<int>;
   { r.num_counters() } -> std::convertible_to<int>;
-  { r.contribution(c, j) } -> std::convertible_to<Vertex>;
-  { r.scheduled(c, cnt) } -> std::convertible_to<bool>;
-  { r.transition(u, c, cnt, t) } -> std::convertible_to<typename R::Color>;
+};
+
+// contribution(c, j) — what a c-colored neighbor adds to counter j.
+template <typename R>
+concept RuleHasContribution =
+    RuleHasColor<R> && requires(const R r, typename R::Color c, int j) {
+      { r.contribution(c, j) } -> std::convertible_to<Vertex>;
+    };
+
+// scheduled(c, cnt) — does the vertex take SOME transition next round?
+template <typename R>
+concept RuleHasScheduling =
+    RuleHasColor<R> &&
+    requires(const R r, typename R::Color c, const Vertex* cnt) {
+      { r.scheduled(c, cnt) } -> std::convertible_to<bool>;
+    };
+
+// transition(u, c, cnt, t) — the next color; pure in its arguments + coins.
+template <typename R>
+concept RuleHasTransition =
+    RuleHasColor<R> &&
+    requires(const R r, typename R::Color c, const Vertex* cnt, Vertex u,
+             std::int64_t t) {
+      { r.transition(u, c, cnt, t) } -> std::convertible_to<typename R::Color>;
+    };
+
+template <typename R>
+concept ProcessRule = RuleHasColor<R> && RuleDeclaresStabilityTracking<R> &&
+                      RuleHasShape<R> && RuleHasContribution<R> &&
+                      RuleHasScheduling<R> && RuleHasTransition<R>;
+
+// The paper's bookkeeping predicates (active/violating/stable_black) —
+// required exactly when the rule sets kTracksStability, asserted at engine
+// instantiation (they used to be documentation only).
+template <typename R>
+concept StabilityTrackingRule =
+    RuleHasColor<R> &&
+    requires(const R r, typename R::Color c, const Vertex* cnt) {
+      { r.active(c, cnt) } -> std::convertible_to<bool>;
+      { r.violating(c, cnt) } -> std::convertible_to<bool>;
+      { r.stable_black(c, cnt) } -> std::convertible_to<bool>;
+    };
+
+// Optional once-per-round hook, run after the colors were committed.
+template <typename R>
+concept RuleHasEndRoundHook = requires(R& r, std::int64_t t) {
+  r.end_round(t);
 };
 
 // Optional stable-periodic fast-forward extension (docs/architecture.md,
@@ -157,11 +214,48 @@ concept FastForwardRule =
       { r.orbit_color(u, c, cnt, t0, t1) } -> std::convertible_to<typename R::Color>;
     };
 
-template <ProcessRule Rule>
+template <typename Rule>
 class ProcessEngine {
+  // Deliberately `typename` + a static_assert cascade rather than
+  // `template <ProcessRule Rule>`: an unconstrained parameter lets every
+  // missing obligation report its OWN named concept here, where a
+  // constrained template would only say "constraints not satisfied".
+  static_assert(RuleHasColor<Rule>,
+                "ProcessEngine<Rule>: Rule violates concept "
+                "ssmis::RuleHasColor — it must define a nested Color type "
+                "(the raw per-vertex state)");
+  static_assert(RuleDeclaresStabilityTracking<Rule>,
+                "ProcessEngine<Rule>: Rule violates concept "
+                "ssmis::RuleDeclaresStabilityTracking — it must declare "
+                "`static constexpr bool kTracksStability`");
+  static_assert(RuleHasShape<Rule>,
+                "ProcessEngine<Rule>: Rule violates concept "
+                "ssmis::RuleHasShape — it must provide const "
+                "num_colors()/num_counters() returning int");
+  static_assert(RuleHasContribution<Rule>,
+                "ProcessEngine<Rule>: Rule violates concept "
+                "ssmis::RuleHasContribution — it must provide const "
+                "contribution(Color, int) -> Vertex");
+  static_assert(RuleHasScheduling<Rule>,
+                "ProcessEngine<Rule>: Rule violates concept "
+                "ssmis::RuleHasScheduling — it must provide const "
+                "scheduled(Color, const Vertex*) -> bool");
+  static_assert(RuleHasTransition<Rule>,
+                "ProcessEngine<Rule>: Rule violates concept "
+                "ssmis::RuleHasTransition — it must provide const "
+                "transition(Vertex, Color, const Vertex*, int64_t) -> Color");
+  static_assert(ProcessRule<Rule>,
+                "ProcessEngine<Rule>: Rule does not satisfy "
+                "ssmis::ProcessRule (see the failed sub-concept above)");
+
  public:
   using Color = typename Rule::Color;
   static constexpr bool kTracksStability = Rule::kTracksStability;
+  static_assert(!kTracksStability || StabilityTrackingRule<Rule>,
+                "ProcessEngine<Rule>: Rule sets kTracksStability but "
+                "violates concept ssmis::StabilityTrackingRule — it must "
+                "provide const active/violating/stable_black"
+                "(Color, const Vertex*) -> bool");
   // Rules satisfying FastForwardRule get stable-periodic fast-forward; for
   // everything else the machinery folds away at compile time (no periodic
   // set, no extra branches in refresh, accessors stay raw).
@@ -213,7 +307,7 @@ class ProcessEngine {
     // round being committed (colors_ always holds end-of-round_ state).
     ++round_;
     apply();
-    if constexpr (requires(Rule& r) { r.end_round(t); }) rule_.end_round(t);
+    if constexpr (RuleHasEndRoundHook<Rule>) rule_.end_round(t);
   }
 
   // Daemon primitive: transitions exactly `chosen` (each must currently be
@@ -265,7 +359,7 @@ class ProcessEngine {
     // pure read of the shared payload).
     nbr_scratch_.resize(static_cast<std::size_t>(shards_));
   }
-  int shards() const { return shards_; }
+  [[nodiscard]] int shards() const { return shards_; }
 
   // Fault-injection / test hook: overwrite one vertex's color, keeping every
   // counter, worklist entry, and aggregate consistent in O(deg(u)). Counts
@@ -319,18 +413,18 @@ class ProcessEngine {
       (void)on;
     }
   }
-  bool fast_forward_enabled() const {
+  [[nodiscard]] bool fast_forward_enabled() const {
     if constexpr (kFastForward) return fast_forward_;
     return false;
   }
   // Physical size of the periodic set (0 for non-fast-forward rules).
-  Vertex num_fast_forwarded() const {
+  [[nodiscard]] Vertex num_fast_forwarded() const {
     if constexpr (kFastForward) return periodic_.size();
     return 0;
   }
   // Whether u is currently parked in the periodic set (its live entry is in
   // `worklist() ∪ this`, never both). Always false for non-ff rules.
-  bool fast_forwarded(Vertex u) const {
+  [[nodiscard]] bool fast_forwarded(Vertex u) const {
     if constexpr (kFastForward) return periodic_.contains(u);
     (void)u;
     return false;
@@ -350,19 +444,19 @@ class ProcessEngine {
 
   // --- state queries -------------------------------------------------------
 
-  std::int64_t round() const { return round_; }
-  const Graph& graph() const { return *graph_; }
-  const Rule& rule() const { return rule_; }
+  [[nodiscard]] std::int64_t round() const { return round_; }
+  [[nodiscard]] const Graph& graph() const { return *graph_; }
+  [[nodiscard]] const Rule& rule() const { return rule_; }
   Rule& rule() { return rule_; }
 
   // Raw color values run over [0, num_colors()).
-  int num_colors() const { return num_colors_; }
+  [[nodiscard]] int num_colors() const { return num_colors_; }
 
   // Exact-state accessors. With fast-forward engaged, the stored color of a
   // parked vertex lags at its entry round, so these materialize what they
   // expose before returning (O(|periodic set|) for the bulk views, O(1) /
   // O(deg) for the per-vertex ones; zero-cost for non-fast-forward rules).
-  const std::vector<Color>& colors() const {
+  [[nodiscard]] const std::vector<Color>& colors() const {
     sync_fast_forward();
     return colors_;
   }
@@ -378,7 +472,7 @@ class ProcessEngine {
   // (While a neighbor is parked, only the counter components the rule's
   // output projection declares invariant are maintained; the accessor
   // restores the rest on demand.)
-  Vertex counter(Vertex u, int j) const {
+  [[nodiscard]] Vertex counter(Vertex u, int j) const {
     return counters(u)[static_cast<std::size_t>(j)];
   }
   const Vertex* counters(Vertex u) const {
@@ -391,7 +485,7 @@ class ProcessEngine {
 
   // Number of vertices currently holding color c (histogram-backed; syncs
   // the periodic set first, so O(|periodic set|) under fast-forward).
-  Vertex color_count(Color c) const {
+  [[nodiscard]] Vertex color_count(Color c) const {
     sync_fast_forward();
     return hist_[static_cast<std::size_t>(raw(c))];
   }
@@ -400,28 +494,28 @@ class ProcessEngine {
   // set of colors closed under every declared orbit (e.g. black0 + black1
   // for the 3-state family) is exact, which is what the wrappers' hot
   // per-round accounting reads.
-  Vertex raw_color_count(Color c) const {
+  [[nodiscard]] Vertex raw_color_count(Color c) const {
     return hist_[static_cast<std::size_t>(raw(c))];
   }
 
   // --- worklist ------------------------------------------------------------
 
-  bool scheduled(Vertex u) const {
+  [[nodiscard]] bool scheduled(Vertex u) const {
     return (flags_[static_cast<std::size_t>(u)] & kScheduledBit) != 0;
   }
   // Logical scheduled count: live worklist plus fast-forwarded vertices
   // (parked orbits are scheduled every round by declaration).
-  Vertex num_scheduled() const {
+  [[nodiscard]] Vertex num_scheduled() const {
     if constexpr (kFastForward) return worklist_.size() + periodic_.size();
     return worklist_.size();
   }
   // The LIVE worklist only — under fast-forward, parked vertices are
   // excluded (that exclusion is the optimization). Logical queries should
   // use num_scheduled()/scheduled_set().
-  const VertexWorklist& worklist() const { return worklist_; }
+  [[nodiscard]] const VertexWorklist& worklist() const { return worklist_; }
   // Ascending order — what a dense seed-semantics scan would produce.
   // Includes the fast-forwarded vertices.
-  std::vector<Vertex> scheduled_set() const {
+  [[nodiscard]] std::vector<Vertex> scheduled_set() const {
     if constexpr (kFastForward) {
       if (!periodic_.empty()) {
         const std::vector<Vertex> live = worklist_.sorted();
@@ -563,7 +657,7 @@ class ProcessEngine {
   int effective_shards(std::size_t items) const {
     if (shards_ <= 1 || items < 2 * kShardGrain) return 1;
     const std::size_t cap = items / kShardGrain;
-    return static_cast<int>(
+    return narrow_cast<int>(
         std::min<std::size_t>(static_cast<std::size_t>(shards_), cap));
   }
 

@@ -1,5 +1,7 @@
 #include "core/faults.hpp"
 
+#include "support/narrow.hpp"
+
 namespace ssmis {
 
 namespace {
@@ -65,7 +67,7 @@ FaultReport inject_faults(ThreeColorMIS& process, double fraction, std::int64_t 
                         : clock_switch != nullptr ? &clock_switch->clock()
                                                   : nullptr;
     if (clock != nullptr) {
-      const int lvl = static_cast<int>((w >> 8) %
+      const int lvl = narrow_cast<int>((w >> 8) %
                                        static_cast<std::uint64_t>(clock->num_states()));
       clock->force_level(u, lvl);
     }

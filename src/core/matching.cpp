@@ -7,6 +7,7 @@
 #include "core/verify.hpp"
 #include "graph/csr_builder.hpp"
 #include "harness/registry.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -50,7 +51,7 @@ IncidentCsr incident_edge_csr(const Graph& g, const std::vector<Edge>& edges) {
 Graph build_line_graph(const Graph& g, const std::vector<Edge>& edges) {
   const IncidentCsr inc = incident_edge_csr(g, edges);
   return CsrBuilder::from_source(
-      static_cast<Vertex>(edges.size()), [&](auto&& emit) {
+      narrow_cast<Vertex>(edges.size()), [&](auto&& emit) {
         for (Vertex w = 0; w < g.num_vertices(); ++w) {
           const auto begin = inc.offsets[static_cast<std::size_t>(w)];
           const auto end = inc.offsets[static_cast<std::size_t>(w) + 1];

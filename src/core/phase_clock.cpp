@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "support/narrow.hpp"
+
 namespace ssmis {
 
 PhaseClock::PhaseClock(const Graph& g, int d, std::vector<int> init_levels,
@@ -33,7 +35,7 @@ PhaseClock PhaseClock::with_random_levels(const Graph& g, int d,
                                           unsigned zeta_log2_den) {
   std::vector<int> levels(static_cast<std::size_t>(g.num_vertices()));
   for (Vertex u = 0; u < g.num_vertices(); ++u) {
-    levels[static_cast<std::size_t>(u)] = static_cast<int>(
+    levels[static_cast<std::size_t>(u)] = narrow_cast<int>(
         coins.word(-1, u, CoinTag::kSwitchBit) % static_cast<std::uint64_t>(d + 3));
   }
   return PhaseClock(g, d, std::move(levels), coins, zeta_num, zeta_log2_den);

@@ -115,6 +115,13 @@ class Process {
   virtual void set_fast_forward(bool /*on*/) {}
 };
 
+// Optional per-wrapper toggle for the stable-periodic fast-forward
+// schedule; wrappers without it silently ignore the request.
+template <typename P>
+concept ProcessHasFastForwardToggle = requires(P& p, bool on) {
+  p.set_fast_forward(on);
+};
+
 // Adapter for wrappers satisfying the MisProcess concept (the direct
 // engine-backed processes). Derived classes supply output/verify/settled/
 // force-state; stepping, snapshots, and the devirtualized run loop are
@@ -134,7 +141,7 @@ class MisProcessAdapter : public Process {
   }
   void set_shards(int shards) override { process_.set_shards(shards); }
   void set_fast_forward(bool on) override {
-    if constexpr (requires(P& p) { p.set_fast_forward(on); })
+    if constexpr (ProcessHasFastForwardToggle<P>)
       process_.set_fast_forward(on);
     else
       (void)on;
@@ -147,13 +154,28 @@ class MisProcessAdapter : public Process {
   P process_;
 };
 
+// The obligations MisFamilyAdapter places on a wrapper beyond MisProcess —
+// previously a prose comment, now a named concept so a wrapper missing one
+// fails with `MisFamilyProcess` in the diagnostic instead of a template
+// error inside an override body.
+template <typename P>
+concept MisFamilyProcess =
+    MisProcess<P> &&
+    requires(P p, const P cp, Vertex u, typename P::Engine::Color c) {
+      typename P::Engine;
+      cp.colors();
+      { cp.black_set() } -> std::convertible_to<std::vector<Vertex>>;
+      p.force_color(u, c);
+      { cp.engine().unstable(u) } -> std::convertible_to<bool>;
+      { cp.engine().num_colors() } -> std::convertible_to<int>;
+    };
+
 // Shared adapter for the MIS-family wrappers: output is the black set, the
 // validity predicate is is_mis, settled(u) is membership in N+(I_t) (the
-// engine's coverage counters), and faults route through force_color. P must
-// additionally expose colors()/black_set()/force_color()/engine().
+// engine's coverage counters), and faults route through force_color.
 // Protocols with auxiliary per-vertex state (the 3-color switch) subclass
 // and override inject_fault.
-template <MisProcess P>
+template <MisFamilyProcess P>
 class MisFamilyAdapter : public MisProcessAdapter<P> {
  public:
   using Color = typename P::Engine::Color;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "support/narrow.hpp"
+
 namespace ssmis {
 
 Vertex RoundRobinScheduler::pick(std::span<const Vertex> enabled,
@@ -124,7 +126,7 @@ Vertex SequentialMIS::step_parallel_deterministic() {
     c = (c == Color2::kBlack) ? Color2::kWhite : Color2::kBlack;
     ++moves_[static_cast<std::size_t>(u)];
   }
-  return static_cast<Vertex>(movers.size());
+  return narrow_cast<Vertex>(movers.size());
 }
 
 std::vector<Vertex> SequentialMIS::black_set() const {

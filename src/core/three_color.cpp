@@ -5,6 +5,7 @@
 #include "core/init.hpp"
 #include "core/process.hpp"
 #include "harness/registry.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -28,7 +29,7 @@ class ThreeColorProcess final : public MisFamilyAdapter<ThreeColorMIS> {
     else if (auto* sw = dynamic_cast<PhaseClockSwitch*>(&process_.switch_process()))
       clock = &sw->clock();
     if (clock != nullptr) {
-      clock->force_level(u, static_cast<int>(
+      clock->force_level(u, narrow_cast<int>(
                                 (w >> 8) %
                                 static_cast<std::uint64_t>(clock->num_states())));
     }

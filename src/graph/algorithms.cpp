@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "graph/builder.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -245,7 +246,7 @@ InducedSubgraph induced_subgraph(const Graph& g, const std::vector<Vertex>& keep
       throw std::invalid_argument("induced_subgraph: duplicate vertex in keep");
     old_to_new[static_cast<std::size_t>(u)] = static_cast<Vertex>(i);
   }
-  GraphBuilder b(static_cast<Vertex>(keep.size()));
+  GraphBuilder b(narrow_cast<Vertex>(keep.size()));
   for (Vertex u : keep) {
     g.for_each_neighbor(u, [&](Vertex v) {
       const Vertex nv = old_to_new[static_cast<std::size_t>(v)];
@@ -384,17 +385,17 @@ struct MisSearch {
   void search(Vertex set_size, Vertex undecided) {
     if (!minimize_maximal) {
       // Bound: even taking every undecided vertex cannot beat the best.
-      if (set_size + undecided <= static_cast<Vertex>(best.size())) return;
+      if (set_size + undecided <= narrow_cast<Vertex>(best.size())) return;
     } else {
       // Bound: the set can only grow; prune when already >= best.
-      if (!best.empty() && set_size >= static_cast<Vertex>(best.size())) return;
+      if (!best.empty() && set_size >= narrow_cast<Vertex>(best.size())) return;
     }
     const Vertex u = pick_undecided_max_degree();
     if (u < 0) {
       if (!minimize_maximal) {
-        if (set_size > static_cast<Vertex>(best.size())) best = current_members();
+        if (set_size > narrow_cast<Vertex>(best.size())) best = current_members();
       } else if (current_is_maximal()) {
-        if (best.empty() || set_size < static_cast<Vertex>(best.size()))
+        if (best.empty() || set_size < narrow_cast<Vertex>(best.size()))
           best = current_members();
       }
       return;
@@ -411,7 +412,7 @@ struct MisSearch {
       }
     });
     search(set_size + 1,
-           undecided - 1 - static_cast<Vertex>(newly_excluded.size()));
+           undecided - 1 - narrow_cast<Vertex>(newly_excluded.size()));
     in_set[idx] = 0;
     for (Vertex v : newly_excluded) excluded[static_cast<std::size_t>(v)] = 0;
     // Branch 2: exclude u.
@@ -444,7 +445,7 @@ Vertex independent_domination_number(const Graph& g, Vertex max_n) {
   search.in_set.assign(static_cast<std::size_t>(g.num_vertices()), 0);
   search.excluded = search.in_set;
   search.search(0, g.num_vertices());
-  return static_cast<Vertex>(search.best.size());
+  return narrow_cast<Vertex>(search.best.size());
 }
 
 }  // namespace ssmis

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "rng/splitmix64.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -32,7 +33,7 @@ void CompressedAdjacencyEncoder::add_row(std::span<const Vertex> row) {
     throw std::logic_error("CompressedAdjacencyEncoder: more rows than vertices");
   if (row_ % cadj::kSuperblock == 0)
     index_.push_back(static_cast<std::uint64_t>(payload_.size()));
-  cadj::append_varint(payload_, static_cast<std::uint32_t>(row.size()));
+  cadj::append_varint(payload_, narrow_cast<std::uint32_t>(row.size()));
   Vertex prev = -1;
   for (const Vertex v : row) {
     if (v < 0 || v >= n_)
@@ -43,7 +44,7 @@ void CompressedAdjacencyEncoder::add_row(std::span<const Vertex> row) {
     if (v <= prev)
       throw std::invalid_argument(
           "CompressedAdjacencyEncoder: row not sorted/deduplicated");
-    cadj::append_varint(payload_, static_cast<std::uint32_t>(
+    cadj::append_varint(payload_, narrow_cast<std::uint32_t>(
                                       prev < 0 ? v : v - prev));
     prev = v;
   }
@@ -94,8 +95,8 @@ void validate_compressed_payload(std::int64_t n, std::int64_t adj_len,
     cadj::visit_row(p, end, n, [&](Vertex v) {
       if (v == u) fail_validate("corrupt row (self-loop)");
       ++endpoints;
-      fwd += directed_hash(static_cast<Vertex>(u), v);
-      rev += directed_hash(v, static_cast<Vertex>(u));
+      fwd += directed_hash(narrow_cast<Vertex>(u), v);
+      rev += directed_hash(v, narrow_cast<Vertex>(u));
     });
   }
   if (p != end)
@@ -113,10 +114,10 @@ Graph Graph::compress(const Graph& g) {
   // Same exact-bound reservation as the CsrBuilder sink (degrees are O(1)
   // reads off the plain offsets here).
   const std::size_t id_len =
-      cadj::varint_len(n > 0 ? static_cast<std::uint32_t>(n) : 0u);
+      cadj::varint_len(n > 0 ? narrow_cast<std::uint32_t>(n) : 0u);
   std::size_t bound = 0;
   for (Vertex u = 0; u < n; ++u) {
-    const auto d = static_cast<std::uint32_t>(g.degree(u));
+    const auto d = narrow_cast<std::uint32_t>(g.degree(u));
     bound += cadj::varint_len(d) + static_cast<std::size_t>(d) * id_len;
   }
   enc.reserve(bound);

@@ -47,9 +47,9 @@ class CompressedAdjacencyEncoder {
   // std::invalid_argument on a violation and std::logic_error past row n-1.
   void add_row(std::span<const Vertex> row);
 
-  Vertex rows_added() const { return row_; }
-  std::int64_t endpoints() const { return adj_len_; }
-  std::size_t payload_bytes() const { return payload_.size(); }
+  [[nodiscard]] Vertex rows_added() const { return row_; }
+  [[nodiscard]] std::int64_t endpoints() const { return adj_len_; }
+  [[nodiscard]] std::size_t payload_bytes() const { return payload_.size(); }
 
   // Finishes the index and wraps the arrays in a compressed-storage Graph.
   // Throws std::logic_error unless exactly n rows were added.

@@ -43,6 +43,7 @@
 #include "graph/compressed.hpp"
 #include "graph/graph.hpp"
 #include "rng/splitmix64.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -140,10 +141,10 @@ class CsrBuilder {
     // growth stays realloc-free (no doubling transient at the 10^8 scale).
     {
       const std::size_t id_len = cadj::varint_len(
-          n > 0 ? static_cast<std::uint32_t>(n) : 0u);
+          n > 0 ? narrow_cast<std::uint32_t>(n) : 0u);
       std::size_t bound = 0;
       for (const Vertex d : degrees)
-        bound += cadj::varint_len(static_cast<std::uint32_t>(d)) +
+        bound += cadj::varint_len(narrow_cast<std::uint32_t>(d)) +
                  static_cast<std::size_t>(d) * id_len;
       enc.reserve(bound);
     }

@@ -11,6 +11,7 @@
 #include "graph/csr_builder.hpp"
 #include "rng/splitmix64.hpp"
 #include "rng/xoshiro256.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 namespace gen {
@@ -74,8 +75,8 @@ void sample_distinct_edges(Vertex n, std::int64_t want, std::uint64_t seed,
   chosen.clear();
   chosen.reserve(static_cast<std::size_t>(want) * 2);
   while (static_cast<std::int64_t>(chosen.size()) < want) {
-    Vertex u = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
-    Vertex v = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Vertex u = narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Vertex v = narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
     if (u == v) continue;
     if (u > v) std::swap(u, v);
     if (chosen.insert(edge_key(n, u, v)).second) emit(u, v);
@@ -94,7 +95,7 @@ void emit_random_tree(Vertex n, std::uint64_t seed, Emit&& emit) {
   Xoshiro256 rng(seed);
   std::vector<Vertex> pruefer(static_cast<std::size_t>(n) - 2);
   for (auto& x : pruefer)
-    x = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    x = narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
   std::vector<Vertex> remaining_degree(static_cast<std::size_t>(n), 1);
   for (Vertex x : pruefer) ++remaining_degree[static_cast<std::size_t>(x)];
 
@@ -289,7 +290,7 @@ Graph random_recursive_tree(Vertex n, std::uint64_t seed) {
     Xoshiro256 rng(seed);
     for (Vertex u = 1; u < n; ++u) {
       const Vertex parent =
-          static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(u)));
+          narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(u)));
       emit(u, parent);
     }
   });
@@ -362,8 +363,8 @@ Graph random_geometric(Vertex n, double radius, std::uint64_t seed) {
   GraphBuilder b(n);
   for (Vertex u = 0; u < n; ++u) {
     const std::size_t bu = bucket_of(u);
-    const int cx = static_cast<int>(bu / static_cast<std::size_t>(cells));
-    const int cy = static_cast<int>(bu % static_cast<std::size_t>(cells));
+    const int cx = narrow_cast<int>(bu / static_cast<std::size_t>(cells));
+    const int cy = narrow_cast<int>(bu % static_cast<std::size_t>(cells));
     for (int dx = -1; dx <= 1; ++dx) {
       for (int dy = -1; dy <= 1; ++dy) {
         const int nx = cx + dx;
@@ -402,7 +403,7 @@ Graph small_world(Vertex n, int k, double beta, std::uint64_t seed) {
       // Rewire: keep endpoint u, pick a fresh non-neighbor target.
       Vertex u = e.first;
       for (int attempt = 0; attempt < 64; ++attempt) {
-        Vertex w = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+        Vertex w = narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
         if (w == u) continue;
         Vertex a = u, c = w;
         if (a > c) std::swap(a, c);

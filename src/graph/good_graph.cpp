@@ -6,6 +6,7 @@
 
 #include "graph/algorithms.hpp"
 #include "rng/xoshiro256.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -226,9 +227,9 @@ GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
     std::vector<Vertex> out;
     out.reserve(static_cast<std::size_t>(size));
     std::vector<char> used(static_cast<std::size_t>(n), 0);
-    while (static_cast<Vertex>(out.size()) < std::min(size, n)) {
+    while (narrow_cast<Vertex>(out.size()) < std::min(size, n)) {
       const Vertex u =
-          static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+          narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
       if (!used[static_cast<std::size_t>(u)]) {
         used[static_cast<std::size_t>(u)] = 1;
         out.push_back(u);
@@ -240,11 +241,11 @@ GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
     // BFS ball around a random root: subsets with many internal edges.
     std::vector<Vertex> out;
     std::vector<char> used(static_cast<std::size_t>(n), 0);
-    Vertex root = static_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
+    Vertex root = narrow_cast<Vertex>(rng.next_below(static_cast<std::uint64_t>(n)));
     std::vector<Vertex> frontier{root};
     used[static_cast<std::size_t>(root)] = 1;
     out.push_back(root);
-    while (!frontier.empty() && static_cast<Vertex>(out.size()) < size) {
+    while (!frontier.empty() && narrow_cast<Vertex>(out.size()) < size) {
       std::vector<Vertex> next;
       for (Vertex u : frontier) {
         bool full = false;
@@ -253,7 +254,7 @@ GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
           used[static_cast<std::size_t>(v)] = 1;
           out.push_back(v);
           next.push_back(v);
-          full = static_cast<Vertex>(out.size()) >= size;
+          full = narrow_cast<Vertex>(out.size()) >= size;
           return !full;
         });
         if (full) return out;
@@ -264,7 +265,7 @@ GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
   };
 
   for (int iter = 0; iter < samples; ++iter) {
-    const Vertex size = static_cast<Vertex>(
+    const Vertex size = narrow_cast<Vertex>(
         1 + rng.next_below(static_cast<std::uint64_t>(n)));
     // Three candidate shapes per iteration.
     std::vector<std::vector<Vertex>> candidates;
@@ -281,15 +282,16 @@ GoodGraphReport check_good_sampled(const Graph& g, double p, int samples,
     // P4: T = small high-degree set, S = random larger set.
     const double max_t = std::max(1.0, std::log(std::max<double>(2.0, n)) /
                                            std::max(p, 1e-12));
-    const Vertex t_size = static_cast<Vertex>(std::min<double>(
+    const double t_cap = std::min<double>(
         max_t, 1 + static_cast<double>(rng.next_below(
-                       static_cast<std::uint64_t>(std::max<double>(1.0, max_t))))));
+                       static_cast<std::uint64_t>(std::max<double>(1.0, max_t)))));
+    const Vertex t_size = narrow_cast<Vertex>(static_cast<std::int64_t>(t_cap));
     std::vector<Vertex> t_set(by_degree.begin(),
                               by_degree.begin() + std::min<std::size_t>(
                                                       by_degree.size(),
                                                       static_cast<std::size_t>(t_size)));
     std::vector<Vertex> s_set = random_subset(
-        std::max<Vertex>(t_size, static_cast<Vertex>(rng.next_below(
+        std::max<Vertex>(t_size, narrow_cast<Vertex>(rng.next_below(
                                      static_cast<std::uint64_t>(n)) + 1)));
     // Remove overlap (keep S disjoint from T).
     {

@@ -113,7 +113,7 @@ std::span<const Vertex> Graph::decode_row(Vertex u, NeighborScratch& scratch) co
 
 Vertex Graph::compressed_degree(Vertex u) const {
   const std::uint8_t* p = cadj::seek_row(cpayload_, cpayload_bytes_, cindex_, n_, u);
-  return static_cast<Vertex>(
+  return narrow_cast<Vertex>(
       cadj::read_degree(p, cpayload_ + cpayload_bytes_, n_));
 }
 

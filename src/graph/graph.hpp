@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "graph/varint.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -68,21 +69,21 @@ class Graph {
   // Builds from an arbitrary edge list: self-loops are dropped, duplicate and
   // reversed duplicates are merged, endpoints are validated against [0, n).
   // Throws std::invalid_argument on out-of-range endpoints or negative n.
-  static Graph from_edges(Vertex n, std::span<const Edge> edges);
-  static Graph from_edges(Vertex n, std::initializer_list<Edge> edges);
+  [[nodiscard]] static Graph from_edges(Vertex n, std::span<const Edge> edges);
+  [[nodiscard]] static Graph from_edges(Vertex n, std::initializer_list<Edge> edges);
 
   // Zero-copy view over externally owned CSR arrays (the `.ssg` mmap loader).
   // `backing` keeps the arrays alive for the Graph's lifetime. The arrays
   // must already satisfy the class invariants — sorted deduplicated rows,
   // symmetric adjacency, no self-loops, monotone offsets with
   // offsets[0] == 0 and offsets[n] == adj_len; callers are trusted.
-  static Graph from_external_csr(Vertex n, const std::int64_t* offsets,
+  [[nodiscard]] static Graph from_external_csr(Vertex n, const std::int64_t* offsets,
                                  const Vertex* adj, std::size_t adj_len,
                                  std::shared_ptr<const void> backing);
 
   // Adopts already-valid CSR vectors (the `.ssg` owned-storage loader).
   // Same trust contract as from_external_csr.
-  static Graph from_owned_csr(Vertex n, std::vector<std::int64_t> offsets,
+  [[nodiscard]] static Graph from_owned_csr(Vertex n, std::vector<std::int64_t> offsets,
                               std::vector<Vertex> adj) {
     return Graph(n, std::move(offsets), std::move(adj));
   }
@@ -93,13 +94,13 @@ class Graph {
   // the end-of-payload sentinel last; `adj_len` is the total endpoint count
   // (2m). Rows must satisfy the same structural invariants as CSR storage;
   // callers are trusted (the v2 kFull load validates before trusting).
-  static Graph from_compressed(Vertex n, std::int64_t adj_len,
+  [[nodiscard]] static Graph from_compressed(Vertex n, std::int64_t adj_len,
                                std::vector<std::uint64_t> index,
                                std::vector<std::uint8_t> payload);
 
   // Zero-copy compressed view over an external region (the `.ssg` v2 mmap
   // loader). Same trust contract as from_compressed.
-  static Graph from_external_compressed(Vertex n, std::int64_t adj_len,
+  [[nodiscard]] static Graph from_external_compressed(Vertex n, std::int64_t adj_len,
                                         const std::uint64_t* index,
                                         const std::uint8_t* payload,
                                         std::size_t payload_bytes,
@@ -108,16 +109,16 @@ class Graph {
   // Transcodes any graph into (heap-owned) compressed storage / back into
   // plain CSR. `compress` on an already-compressed graph (and `decompress`
   // on a plain one) returns a storage-sharing copy.
-  static Graph compress(const Graph& g);
-  static Graph decompress(const Graph& g);
+  [[nodiscard]] static Graph compress(const Graph& g);
+  [[nodiscard]] static Graph decompress(const Graph& g);
 
-  Vertex num_vertices() const { return n_; }
-  std::int64_t num_edges() const { return static_cast<std::int64_t>(adj_size_) / 2; }
+  [[nodiscard]] Vertex num_vertices() const { return n_; }
+  [[nodiscard]] std::int64_t num_edges() const { return static_cast<std::int64_t>(adj_size_) / 2; }
 
   // Sorted, duplicate-free open neighborhood of u — plain storage only.
   // Throws std::logic_error on compressed storage: use for_each_neighbor,
   // neighbors(u, scratch), or RowStream there.
-  std::span<const Vertex> neighbors(Vertex u) const {
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex u) const {
     if (compressed_) fail_needs_decode();
     return {adj_ + offsets_[static_cast<std::size_t>(u)],
             adj_ + offsets_[static_cast<std::size_t>(u) + 1]};
@@ -127,7 +128,7 @@ class Graph {
   // inline — zero overhead over neighbors(u)), a decode into `scratch` on
   // compressed storage. The returned span is invalidated by the next use of
   // the same scratch.
-  std::span<const Vertex> neighbors(Vertex u, NeighborScratch& scratch) const {
+  [[nodiscard]] std::span<const Vertex> neighbors(Vertex u, NeighborScratch& scratch) const {
     if (!compressed_) {
       return {adj_ + offsets_[static_cast<std::size_t>(u)],
               adj_ + offsets_[static_cast<std::size_t>(u) + 1]};
@@ -168,7 +169,7 @@ class Graph {
           end_(g.compressed_ ? g.cpayload_ + g.cpayload_bytes_ : nullptr) {}
 
     // Row for vertex `row()`; advances to the next row.
-    std::span<const Vertex> next(NeighborScratch& scratch) {
+    [[nodiscard]] std::span<const Vertex> next(NeighborScratch& scratch) {
       const Vertex u = row_++;
       if (!g_->compressed_) return g_->neighbors(u);
       cadj::decode_row_into(p_, end_, g_->n_, scratch.buf);
@@ -182,7 +183,7 @@ class Graph {
       if (g_->compressed_) cadj::skip_row(p_, end_, g_->n_);
     }
 
-    Vertex row() const { return row_; }
+    [[nodiscard]] Vertex row() const { return row_; }
 
    private:
     const Graph* g_;
@@ -191,61 +192,61 @@ class Graph {
     Vertex row_ = 0;
   };
 
-  Vertex degree(Vertex u) const {
+  [[nodiscard]] Vertex degree(Vertex u) const {
     if (compressed_) return compressed_degree(u);
-    return static_cast<Vertex>(offsets_[static_cast<std::size_t>(u) + 1] -
+    return narrow_cast<Vertex>(offsets_[static_cast<std::size_t>(u) + 1] -
                                offsets_[static_cast<std::size_t>(u)]);
   }
 
-  Vertex max_degree() const;
-  double average_degree() const;
+  [[nodiscard]] Vertex max_degree() const;
+  [[nodiscard]] double average_degree() const;
 
   // All n degrees at once: O(n) reads on plain storage, one sequential
   // degree-header sweep (O(payload), not n superblock seeks) on compressed.
   // What degree-keyed algorithms (degeneracy peeling, degree-biased inits)
   // should call instead of n random degree(u) lookups.
-  std::vector<Vertex> degrees() const;
+  [[nodiscard]] std::vector<Vertex> degrees() const;
 
   // Membership test over the sorted adjacency of the lower-degree endpoint:
   // binary search on plain storage, early-exit decode on compressed.
-  bool has_edge(Vertex u, Vertex v) const;
+  [[nodiscard]] bool has_edge(Vertex u, Vertex v) const;
 
   // All edges (u < v), in increasing (u, v) order.
-  std::vector<Edge> edge_list() const;
+  [[nodiscard]] std::vector<Edge> edge_list() const;
 
   // Raw CSR views (serialization and checksumming) — plain storage only;
   // std::logic_error on compressed storage (see compressed_index/payload).
-  std::span<const std::int64_t> offsets() const {
+  [[nodiscard]] std::span<const std::int64_t> offsets() const {
     if (compressed_) fail_needs_decode();
     return {offsets_, static_cast<std::size_t>(n_) + 1};
   }
-  std::span<const Vertex> adjacency() const {
+  [[nodiscard]] std::span<const Vertex> adjacency() const {
     if (compressed_) fail_needs_decode();
     return {adj_, adj_size_};
   }
 
   // Raw codec views (the `.ssg` v2 writer) — compressed storage only;
   // std::logic_error otherwise.
-  std::span<const std::uint64_t> compressed_index() const;
-  std::span<const std::uint8_t> compressed_payload() const;
+  [[nodiscard]] std::span<const std::uint64_t> compressed_index() const;
+  [[nodiscard]] std::span<const std::uint8_t> compressed_payload() const;
 
   // True when the arrays live in an external region (e.g. an mmap'd `.ssg`
   // file) rather than heap vectors.
-  bool is_mapped() const { return mapped_; }
+  [[nodiscard]] bool is_mapped() const { return mapped_; }
 
   // True for the varint/delta compressed layout (either heap or mmap).
-  bool is_compressed() const { return compressed_; }
+  [[nodiscard]] bool is_compressed() const { return compressed_; }
 
   // One-word storage-mode label: "owned", "mmap", "compressed", or
   // "compressed+mmap" — what the scale drivers print next to timings.
-  std::string storage_mode() const;
+  [[nodiscard]] std::string storage_mode() const;
 
   // Deep structural equality (n, per-row adjacency) across any mix of
   // storage modes; same-layout comparisons short-circuit on the raw arrays.
-  bool operator==(const Graph& other) const;
+  [[nodiscard]] bool operator==(const Graph& other) const;
 
   // One-line human-readable summary, e.g. "Graph(n=100, m=250, maxdeg=9)".
-  std::string summary() const;
+  [[nodiscard]] std::string summary() const;
 
  private:
   friend class GraphBuilder;

@@ -95,29 +95,29 @@ void save_ssg(const std::string& path, const Graph& g);
 // compressed for v2 — the returned Graph keeps the on-disk representation).
 // Throws std::runtime_error on malformed header, unsupported version,
 // truncation, or (in kFull mode) checksum mismatch / structural corruption.
-Graph load_ssg(const std::string& path,
+[[nodiscard]] Graph load_ssg(const std::string& path,
                SsgValidation validation = SsgValidation::kFull);
 
 // Memory-maps the file read-only and returns a zero-copy Graph view; the
 // mapping lives as long as any copy of the Graph. Falls back to load_ssg
 // on platforms without mmap.
-Graph mmap_ssg(const std::string& path,
+[[nodiscard]] Graph mmap_ssg(const std::string& path,
                SsgValidation validation = SsgValidation::kFull);
 
 // Dispatches on extension: `.ssg` -> binary (mmap or owned read), anything
 // else -> the whitespace edge-list reader. The one-stop entry point behind
 // every binary's --graph-file flag (`--graph-trusted` maps to kTrusted).
-Graph load_graph_file(const std::string& path, bool prefer_mmap = true,
+[[nodiscard]] Graph load_graph_file(const std::string& path, bool prefer_mmap = true,
                       SsgValidation validation = SsgValidation::kFull);
 
 // Reads the shared --graph-file / --graph-mmap / --graph-trusted flags and
 // dispatches to load_graph_file — the single flag-to-semantics mapping used
 // by every exp binary and examples/simulate.
-Graph load_graph_file_from_args(const CliArgs& args);
+[[nodiscard]] Graph load_graph_file_from_args(const CliArgs& args);
 
 // Bytes `g` occupies on disk and (mapped) in memory: header + 8(n+1) + 4*2m
 // for plain storage, header + index + payload for compressed storage.
-std::int64_t ssg_file_bytes(const Graph& g);
+[[nodiscard]] std::int64_t ssg_file_bytes(const Graph& g);
 
 }  // namespace io
 }  // namespace ssmis

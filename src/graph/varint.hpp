@@ -34,7 +34,7 @@ inline constexpr std::int64_t kSuperblock = 64;
 
 // Index entries for an n-vertex payload: one per started superblock plus
 // the end-of-payload sentinel.
-inline constexpr std::size_t index_entries(std::int64_t n) {
+[[nodiscard]] inline constexpr std::size_t index_entries(std::int64_t n) {
   return static_cast<std::size_t>((n + kSuperblock - 1) / kSuperblock) + 1;
 }
 
@@ -45,7 +45,7 @@ inline constexpr std::size_t index_entries(std::int64_t n) {
 // Encoded size of one varint (1..5 bytes for values < 2^31). Monotone in
 // `value`, so varint_len(n) bounds the bytes of any vertex id or gap in an
 // n-vertex payload — what the compress sink's exact reservation rests on.
-inline std::size_t varint_len(std::uint32_t value) {
+[[nodiscard]] inline std::size_t varint_len(std::uint32_t value) {
   std::size_t len = 1;
   while (value >= 0x80u) {
     value >>= 7;
@@ -72,7 +72,7 @@ inline void append_varint(ByteVec& out, std::uint32_t value) {
 // the codec is canonical, one byte stream per adjacency structure, which is
 // what lets payload equality stand in for structural equality and makes v2
 // checksums comparable across writers.
-inline std::uint32_t read_varint(const std::uint8_t*& p, const std::uint8_t* end) {
+[[nodiscard]] inline std::uint32_t read_varint(const std::uint8_t*& p, const std::uint8_t* end) {
   std::uint64_t value = 0;
   int shift = 0;
   for (;;) {
@@ -104,7 +104,7 @@ inline void skip_varint(const std::uint8_t*& p, const std::uint8_t* end) {
 // exceed the vertex universe nor the bytes left in the payload (every
 // neighbor costs at least one byte), so hostile headers cannot provoke
 // grotesque scratch allocations or long blind scans.
-inline std::int64_t read_degree(const std::uint8_t*& p, const std::uint8_t* end,
+[[nodiscard]] inline std::int64_t read_degree(const std::uint8_t*& p, const std::uint8_t* end,
                                 std::int64_t n) {
   const std::int64_t deg = read_varint(p, end);
   if (deg > n) fail("corrupt row header (degree exceeds vertex count)");
@@ -157,7 +157,7 @@ inline void decode_row_into(const std::uint8_t*& p, const std::uint8_t* end,
 // kSuperblock - 1 row skips. The index entry itself is validated against
 // the payload size (an index/offset mismatch in a corrupted file throws
 // here rather than seeding an out-of-bounds scan).
-inline const std::uint8_t* seek_row(const std::uint8_t* payload,
+[[nodiscard]] inline const std::uint8_t* seek_row(const std::uint8_t* payload,
                                     std::size_t payload_bytes,
                                     const std::uint64_t* index, std::int64_t n,
                                     std::int64_t u) {

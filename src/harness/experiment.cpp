@@ -4,6 +4,7 @@
 
 #include "core/process.hpp"
 #include "harness/trial_batch.hpp"
+#include "support/narrow.hpp"
 
 namespace ssmis {
 
@@ -60,7 +61,7 @@ Measurements measure_stabilization(const Graph& g, const MeasureConfig& config) 
       out.timeout_seeds.push_back(trial_seed(config, trial));
     }
   }
-  out.timeouts = static_cast<int>(out.timeout_seeds.size());
+  out.timeouts = narrow_cast<int>(out.timeout_seeds.size());
   out.summary = summarize(out.stabilization_rounds);
   return out;
 }

@@ -1,0 +1,48 @@
+// Checked narrowing conversion for vertex ids and adjacency offsets.
+//
+// The repo keeps vertex ids in i32 (`Vertex`) while degree sums, adjacency
+// offsets, and file sizes live in i64 — so i64 -> i32 conversions are
+// everywhere, and each ad-hoc `static_cast` is a silent-truncation hazard
+// once graphs pass 2^31 endpoints (exp_scale already runs n = 10^8).
+// `narrow_cast` is the one sanctioned way to make that conversion:
+//
+//   Debug (NDEBUG unset):  asserts the value round-trips through the
+//     destination type with its sign intact, so a truncating conversion
+//     aborts at the cast instead of corrupting a trajectory that only a
+//     golden-fingerprint mismatch would eventually catch.
+//   Release (NDEBUG set):  compiles to exactly `static_cast<To>(value)` —
+//     zero cost, wraparound semantics identical to the raw cast. The name
+//     at the call site is the documentation that the author considered the
+//     range and accepted modular wraparound as the out-of-contract result.
+//
+// Lint rule R3 (tools/ssmis_lint.py) flags raw static_casts that narrow
+// 64-bit-sourced values and points here; this header is the only file
+// allowed to spell that cast.
+#pragma once
+
+#include <cassert>
+#include <type_traits>
+
+namespace ssmis {
+
+template <typename To, typename From>
+[[nodiscard]] constexpr To narrow_cast(From value) noexcept {
+  static_assert(std::is_integral_v<To> && std::is_integral_v<From>,
+                "narrow_cast is for integral conversions only; convert "
+                "floating-point values explicitly first");
+  const To out = static_cast<To>(value);
+  assert(static_cast<From>(out) == value &&
+         "narrow_cast: value does not fit the destination type");
+  // Same-width sign changes round-trip bit-exactly, so the check above
+  // misses them (int32 -1 <-> uint32 0xFFFFFFFF); pin signedness directly.
+  if constexpr (std::is_signed_v<From> && !std::is_signed_v<To>) {
+    assert(value >= From{} &&
+           "narrow_cast: negative value cast to an unsigned type");
+  } else if constexpr (!std::is_signed_v<From> && std::is_signed_v<To>) {
+    assert(out >= To{} &&
+           "narrow_cast: unsigned value wrapped to a negative");
+  }
+  return out;
+}
+
+}  // namespace ssmis

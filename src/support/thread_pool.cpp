@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "support/narrow.hpp"
+
 namespace ssmis {
 
 namespace {
@@ -29,13 +31,13 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::ensure_workers(int n) {
   n = std::min(n, kMaxWorkers);
   std::lock_guard<std::mutex> lk(mu_);
-  while (static_cast<int>(workers_.size()) < n)
+  while (narrow_cast<int>(workers_.size()) < n)
     workers_.emplace_back([this] { worker_loop(); });
 }
 
 int ThreadPool::num_workers() const {
   std::lock_guard<std::mutex> lk(mu_);
-  return static_cast<int>(workers_.size());
+  return narrow_cast<int>(workers_.size());
 }
 
 // Shared inner loop: pop indices until the job is drained. Each index is
@@ -98,7 +100,7 @@ void ThreadPool::parallel_for(int tasks, int concurrency,
     std::lock_guard<std::mutex> lk(mu_);
     job_ = job;
     job_slots_ = std::min({concurrency - 1, tasks - 1,
-                           static_cast<int>(workers_.size())});
+                           narrow_cast<int>(workers_.size())});
   }
   work_cv_.notify_all();
   run_tasks(*job);  // the submitter works too

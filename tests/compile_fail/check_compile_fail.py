@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Compile-fail harness for the engine's named-concept diagnostics.
+
+Usage: check_compile_fail.py <cxx> <include-dir> <tu> <expected>...
+
+Asserts that <tu> FAILS to compile under -std=c++20 -fsyntax-only and that
+the compiler output mentions every <expected> string (the violated
+concept's name). A fixture that compiles, or a diagnostic that no longer
+names the concept, fails the test — both directions of the contract.
+"""
+
+import subprocess
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 5:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cxx, include_dir, tu = sys.argv[1], sys.argv[2], sys.argv[3]
+    expected = sys.argv[4:]
+    proc = subprocess.run(
+        [cxx, "-std=c++20", "-fsyntax-only", "-I", include_dir, tu],
+        capture_output=True, text=True)
+    if proc.returncode == 0:
+        print(f"FAIL: {tu} compiled cleanly; the bad rule must be rejected")
+        return 1
+    diagnostics = proc.stderr + proc.stdout
+    missing = [e for e in expected if e not in diagnostics]
+    if missing:
+        print("FAIL: compile error does not name: " + ", ".join(missing))
+        print("--- first 4000 chars of diagnostics ---")
+        print(diagnostics[:4000])
+        return 1
+    print("OK: rejected with the named concept(s): " + ", ".join(expected))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,34 @@
+// Seeded R1 violations: raw adjacency access outside the decode-aware
+// allowlist. Every flagged line below must appear in expected.txt — the
+// linter self-test fails if any is missed (tools/ssmis_lint.py --self-test).
+//
+// NOT flagged: the two-argument neighbors(u, scratch) decode overload and
+// for_each_neighbor, exercised at the bottom as negative controls.
+#include <cstdint>
+#include <vector>
+
+struct FakeScratch {
+  std::vector<int> row;
+};
+
+template <typename G>
+long sum_degrees_raw(const G& g) {
+  long total = 0;
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.neighbors(u)) total += v;  // R1: raw single-arg neighbors
+  }
+  total += static_cast<long>(g.offsets().size());    // R1: raw offsets()
+  total += static_cast<long>(g.adjacency().size());  // R1: raw adjacency()
+  return total;
+}
+
+template <typename G>
+long sum_degrees_decoded(const G& g) {
+  long total = 0;
+  FakeScratch scratch;
+  for (int u = 0; u < g.num_vertices(); ++u) {
+    for (int v : g.neighbors(u, scratch)) total += v;  // ok: decode overload
+    g.for_each_neighbor(u, [&](int v) { total += v; return true; });  // ok
+  }
+  return total;
+}

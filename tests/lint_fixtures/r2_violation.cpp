@@ -1,0 +1,34 @@
+// Seeded R2 violations: nondeterminism sources in trajectory-affecting
+// code. lint_fixtures/ is deliberately NOT covered by the bench/support
+// path exemption, so every source class below must be reported.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+int decide_color(int u) {
+  int coin = rand() % 2;                        // R2: libc rand()
+  std::random_device rd;                        // R2: entropy outside the seed
+  coin ^= static_cast<int>(rd() & 1u);
+  const auto t0 = std::chrono::steady_clock::now();  // R2: host timer
+  (void)t0;
+  coin ^= static_cast<int>(time(nullptr) & 1);  // R2: wall clock
+  const unsigned width = std::thread::hardware_concurrency();  // R2
+  return (coin + static_cast<int>(width) + u) % 3;
+}
+
+int sum_in_hash_order(const std::vector<int>& xs) {
+  std::unordered_set<int> seen;
+  for (int x : xs) seen.insert(x);  // ok: insertion/membership is fine
+  int weighted = 0, rank = 0;
+  for (int x : seen) weighted += (++rank) * x;  // R2: hash-order iteration
+  return weighted;
+}
+
+bool contains(const std::unordered_set<int>& seen, int x) {
+  return seen.count(x) > 0;  // ok: membership query, order never observed
+}

@@ -34,7 +34,9 @@ TEST(Generators, CompleteGraph) {
   EXPECT_EQ(g.max_degree(), 5);
   for (Vertex u = 0; u < 6; ++u)
     for (Vertex v = 0; v < 6; ++v) {
-      if (u != v) EXPECT_TRUE(g.has_edge(u, v));
+      if (u != v) {
+        EXPECT_TRUE(g.has_edge(u, v));
+      }
     }
 }
 

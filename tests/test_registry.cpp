@@ -312,7 +312,9 @@ TEST(Registry, OutputSetsMatchTheProtocolsOwnPredicates) {
     // The direct predicate cross-check: MIS protocols produce an MIS of g;
     // the matching protocol's vertex output is checked via its edges in
     // verify_output (a matched-vertex set alone does not determine pairs).
-    if (name != "matching") EXPECT_TRUE(is_mis(g, p->output_set())) << name;
+    if (name != "matching") {
+      EXPECT_TRUE(is_mis(g, p->output_set())) << name;
+    }
     // settled() must cover the whole graph at the fixed point.
     for (Vertex u = 0; u < g.num_vertices(); ++u)
       EXPECT_TRUE(p->settled(u)) << name << " vertex " << u;
